@@ -1,0 +1,28 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+default ("full") experiment scale, prints the rendered rows and saves them
+under ``benchmarks/results/`` so EXPERIMENTS.md can be checked against a
+fresh run.  Simulations are deterministic, so each benchmark runs exactly
+once (``pedantic(rounds=1)``): the interesting number is the wall time of
+regenerating the figure, not a statistical distribution over reruns.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_figure(benchmark, driver, filename: str, **kwargs):
+    """Run a figure driver once under pytest-benchmark and persist it."""
+    result = benchmark.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = result.render()
+    (RESULTS_DIR / filename).write_text(rendered + "\n")
+    print()
+    print(rendered)
+    return result

@@ -1,0 +1,15 @@
+"""Figure 1: short jobs under Sparrow in a loaded cluster (Section 2.3)."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation_cdf(benchmark):
+    result = run_figure(
+        benchmark, fig01_motivation.run, "fig01.txt", scale=0.1
+    )
+    multiples = result.column("x task duration")
+    # The paper's point: a large fraction of short jobs run orders of
+    # magnitude longer than their 100 s of work.
+    assert multiples[2] > 10.0  # p50
+    assert multiples[4] > 50.0  # p90

@@ -1,0 +1,15 @@
+"""Figure 4: CDFs of task durations and task counts per workload/class."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig04_workload_cdfs
+
+
+def test_fig04_workload_cdfs(benchmark):
+    result = run_figure(benchmark, fig04_workload_cdfs.run, "fig04.txt")
+    assert len(result.rows) == 16  # 4 workloads x 2 classes x 2 metrics
+    # Long jobs have larger medians than short jobs on both axes.
+    by_key = {(r[0], r[1], r[2]): r for r in result.rows}
+    for workload in ("google-like", "cloudera-c", "facebook-2010", "yahoo-2011"):
+        long_dur = by_key[(workload, "long", "task duration (s)")]
+        short_dur = by_key[(workload, "short", "task duration (s)")]
+        assert long_dur[6] > short_dur[6]  # p50 column

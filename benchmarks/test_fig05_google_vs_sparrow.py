@@ -1,0 +1,18 @@
+"""Figure 5: Hawk vs Sparrow on the Google trace across cluster sizes."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig05_google
+
+
+def test_fig05_google_vs_sparrow(benchmark):
+    result = run_figure(benchmark, fig05_google.run, "fig05.txt")
+    short_p50 = result.column("short p50")
+    long_p50 = result.column("long p50")
+    utils = result.column("util(sparrow)")
+    # High load comes first in the sweep; Hawk's short-job benefit must be
+    # largest there and fade as the cluster empties (Section 4.2).
+    assert utils[0] > utils[-1]
+    assert min(short_p50[:3]) < 0.6
+    assert short_p50[-1] > min(short_p50[:3])
+    # Long jobs stay competitive: somewhere Hawk matches or beats Sparrow.
+    assert min(long_p50) <= 1.05

@@ -1,0 +1,22 @@
+"""Figure 6: Hawk vs Sparrow on the Cloudera, Facebook and Yahoo traces."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig06_other_traces
+
+#: Four load points keep the 3-trace sweep affordable.
+TARGETS = (1.25, 1.0, 0.65, 0.4)
+
+
+def test_fig06_other_traces(benchmark):
+    result = run_figure(
+        benchmark,
+        fig06_other_traces.run,
+        "fig06.txt",
+        utilization_targets=TARGETS,
+    )
+    assert len(result.rows) == 3 * len(TARGETS)
+    # Per workload, the high-load short-job p90 must favor Hawk.
+    for workload in ("cloudera-c", "facebook-2010", "yahoo-2011"):
+        rows = [r for r in result.rows if r[0] == workload]
+        high_load_short_p90 = rows[0][3]
+        assert high_load_short_p90 < 1.0, workload

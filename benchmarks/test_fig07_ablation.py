@@ -1,0 +1,16 @@
+"""Figure 7: ablating Hawk's three mechanisms, normalized to full Hawk."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig07_ablation
+
+
+def test_fig07_ablation(benchmark):
+    result = run_figure(benchmark, fig07_ablation.run, "fig07.txt")
+    rows = {r[0]: r for r in result.rows}
+    # Without stealing, short jobs take the biggest hit (Section 4.4).
+    assert rows["hawk-no-stealing"][1] > 1.1  # short p50
+    # Without centralized scheduling, long jobs suffer.
+    assert rows["hawk-no-centralized"][3] > 1.0  # long p50
+    # Without the partition, short jobs get worse (stuck behind longs).
+    no_partition = rows["hawk-no-partition"]
+    assert no_partition[1] > 0.95 or no_partition[2] > 0.95

@@ -1,0 +1,18 @@
+"""Figures 8-9: Hawk vs a fully centralized scheduler."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig08_09_centralized
+
+
+def test_fig08_09_vs_centralized(benchmark):
+    result = run_figure(
+        benchmark, fig08_09_centralized.run, "fig08_09.txt"
+    )
+    short_p90 = result.column("short p90")
+    long_p50 = result.column("long p50")
+    # Figure 8: at heavy load the centralized baseline penalizes short
+    # jobs (Hawk's ratio < 1 at the tail somewhere early in the sweep).
+    assert min(short_p90[:3]) < 1.0
+    # Figure 9: the centralized baseline is at least competitive for long
+    # jobs (it uses the whole cluster), so Hawk's ratios hover near 1.
+    assert all(r < 1.8 for r in long_p50)

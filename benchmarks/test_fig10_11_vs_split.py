@@ -1,0 +1,16 @@
+"""Figures 10-11: Hawk vs a split cluster (disjoint partitions)."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig10_11_split
+
+
+def test_fig10_11_vs_split(benchmark):
+    result = run_figure(benchmark, fig10_11_split.run, "fig10_11.txt")
+    short_p50 = result.column("short p50")
+    long_p50 = result.column("long p50")
+    # Figure 10: in the mid-range, Hawk is far better for short jobs
+    # because they can leverage the general partition.
+    assert min(short_p50) < 0.9
+    # Figure 11: the split cluster is slightly better for long jobs, so
+    # Hawk's long ratios sit modestly above/near 1, never catastrophic.
+    assert all(r < 1.8 for r in long_p50)

@@ -1,0 +1,15 @@
+"""Figures 12-13: sensitivity to the long/short cutoff threshold."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig12_13_cutoff
+
+
+def test_fig12_13_cutoff(benchmark):
+    result = run_figure(benchmark, fig12_13_cutoff.run, "fig12_13.txt")
+    assert len(result.rows) == 6
+    short_p50 = result.column("short p50")
+    # Hawk's short-job benefits hold across the whole cutoff range.
+    assert max(short_p50) < 1.0
+    # The long-job population shrinks as the cutoff rises.
+    fractions = result.column("% jobs long")
+    assert fractions[0] >= fractions[-1]

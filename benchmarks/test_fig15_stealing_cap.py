@@ -1,0 +1,17 @@
+"""Figure 15: sensitivity to the number of stealing attempts."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig15_stealing_cap
+
+
+def test_fig15_stealing_cap(benchmark):
+    result = run_figure(benchmark, fig15_stealing_cap.run, "fig15.txt")
+    rows = {r[0]: r for r in result.rows}
+    # Normalized to cap=1 by definition.
+    assert abs(rows[1][1] - 1.0) < 1e-9
+    # A cap of 10 already captures most of the benefit (Section 4.9):
+    # larger caps must not dramatically improve on it.
+    p50_at_10 = rows[10][1]
+    p50_at_250 = rows[250][1]
+    assert p50_at_10 <= 1.05
+    assert p50_at_250 <= p50_at_10 * 1.1 + 0.1

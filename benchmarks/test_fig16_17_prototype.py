@@ -1,0 +1,17 @@
+"""Figures 16-17: prototype implementation vs simulation."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig16_17_prototype
+
+
+def test_fig16_17_prototype(benchmark):
+    result = run_figure(benchmark, fig16_17_prototype.run, "fig16_17.txt")
+    impl_rows = [r for r in result.rows if r[1] == "implementation"]
+    sim_rows = [r for r in result.rows if r[1] == "simulation"]
+    assert len(impl_rows) == len(sim_rows) >= 3
+    # Both systems agree on the headline direction: Hawk does not lose
+    # badly on short jobs at any load point, and helps at the p90 tail
+    # under the highest load.
+    assert impl_rows[0][3] < 1.2  # short p90, highest load, implementation
+    assert sim_rows[0][3] < 1.2  # short p90, highest load, simulation
+    assert all(r[2] < 1.5 for r in impl_rows)  # short p50 everywhere

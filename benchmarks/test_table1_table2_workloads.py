@@ -1,0 +1,21 @@
+"""Tables 1 and 2: workload heterogeneity statistics, ours vs paper."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import tables
+
+
+def test_table1_workload_stats(benchmark):
+    result = run_figure(benchmark, tables.run_table1, "table1.txt")
+    ours = dict(zip(result.column("workload"), result.column("% task-sec (ours)")))
+    # Long jobs dominate task-seconds in every workload.
+    assert all(share > 60.0 for share in ours.values())
+    # Google calibration is exact by construction.
+    assert abs(ours["google-like"] - 83.65) < 2.0
+
+
+def test_table2_trace_sizes(benchmark):
+    result = run_figure(benchmark, tables.run_table2, "table2.txt")
+    long_fraction = dict(
+        zip(result.column("workload"), result.column("% long (ours)"))
+    )
+    assert all(0.5 <= f <= 15.0 for f in long_fraction.values())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: run Hawk and Sparrow on a synthetic Google-like trace.
+
+This is the 60-second tour of the library:
+
+1. generate a workload calibrated to the paper's Google-trace statistics,
+2. size a cluster for high load,
+3. run the Sparrow baseline and Hawk on the identical trace,
+4. compare percentile runtimes per job class, the way the paper does.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Cluster,
+    ClusterEngine,
+    EngineConfig,
+    HawkScheduler,
+    JobClass,
+    SparrowScheduler,
+    WorkStealing,
+    compare_runs,
+    google_like_trace,
+    percentile,
+)
+from repro.workloads import GOOGLE_CUTOFF_S
+from repro.workloads.google import GOOGLE_SHORT_PARTITION_FRACTION, GoogleTraceConfig
+
+
+def main() -> None:
+    # 1. A 400-job trace: 10% long jobs holding ~84% of the task-seconds.
+    trace = google_like_trace(GoogleTraceConfig(n_jobs=400), seed=1)
+    print(f"trace: {len(trace)} jobs, {trace.total_tasks} tasks")
+
+    # 2. Cluster sized so offered load is ~100% of capacity (high load).
+    n_workers = int(round(trace.nodes_for_full_utilization()))
+    print(f"cluster: {n_workers} single-slot workers\n")
+
+    # 3a. Sparrow: fully distributed batch probing, 2 probes per task.
+    sparrow_engine = ClusterEngine(
+        Cluster(n_workers),
+        SparrowScheduler(),
+        EngineConfig(cutoff=GOOGLE_CUTOFF_S, seed=0),
+    )
+    sparrow = sparrow_engine.run(trace)
+
+    # 3b. Hawk: centralized long jobs on the general partition,
+    #     distributed short jobs everywhere, randomized work stealing.
+    hawk_engine = ClusterEngine(
+        Cluster(
+            n_workers,
+            short_partition_fraction=GOOGLE_SHORT_PARTITION_FRACTION,
+        ),
+        HawkScheduler(),
+        EngineConfig(cutoff=GOOGLE_CUTOFF_S, seed=0),
+        stealing=WorkStealing(cap=10),
+    )
+    hawk = hawk_engine.run(trace)
+
+    # 4. The paper's metrics.
+    print(f"{'':16s}{'Sparrow':>12s}{'Hawk':>12s}")
+    for cls in (JobClass.SHORT, JobClass.LONG):
+        for p in (50, 90):
+            s = percentile(sparrow.runtimes(cls), p)
+            h = percentile(hawk.runtimes(cls), p)
+            print(f"{cls.value:8s} p{p:<6d}{s:12.0f}{h:12.0f}")
+    print()
+    for cls in (JobClass.SHORT, JobClass.LONG):
+        comp = compare_runs(hawk, sparrow, cls)
+        print(
+            f"{cls.value} jobs: Hawk/Sparrow p50={comp.p50_ratio:.2f} "
+            f"p90={comp.p90_ratio:.2f}, Hawk improves-or-matches "
+            f"{100 * comp.fraction_improved:.0f}% of jobs"
+        )
+    print(
+        f"\nwork stealing: {hawk.stealing.entries_stolen} entries stolen in "
+        f"{hawk.stealing.successful_rounds} successful rounds "
+        f"({100 * hawk.stealing.success_rate:.0f}% success rate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

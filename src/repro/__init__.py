@@ -1,0 +1,72 @@
+"""repro — a reproduction of "Hawk: Hybrid Datacenter Scheduling" (ATC '15).
+
+Public API quick reference
+--------------------------
+Workloads:   :func:`repro.google_like_trace`, :func:`repro.kmeans_trace`,
+             :func:`repro.motivation_trace`
+Schedulers:  :class:`repro.HawkScheduler`, :class:`repro.SparrowScheduler`,
+             :class:`repro.CentralizedScheduler`, :class:`repro.SplitScheduler`
+Running:     :class:`repro.Cluster`, :class:`repro.ClusterEngine`,
+             :class:`repro.EngineConfig`, :class:`repro.WorkStealing`
+Metrics:     :func:`repro.compare_runs`, :func:`repro.percentile`
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+from repro.cluster import (
+    Cluster,
+    ClusterEngine,
+    EngineConfig,
+    JobClass,
+    JobRecord,
+    Partition,
+    RunResult,
+)
+from repro.metrics import compare_runs, percentile
+from repro.schedulers import (
+    CentralizedScheduler,
+    ExactEstimation,
+    HawkScheduler,
+    SparrowScheduler,
+    SplitScheduler,
+    UniformMisestimation,
+    WorkStealing,
+)
+from repro.workloads import (
+    GoogleTraceConfig,
+    JobSpec,
+    MotivationConfig,
+    Trace,
+    google_like_trace,
+    kmeans_trace,
+    motivation_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CentralizedScheduler",
+    "Cluster",
+    "ClusterEngine",
+    "EngineConfig",
+    "ExactEstimation",
+    "GoogleTraceConfig",
+    "HawkScheduler",
+    "JobClass",
+    "JobRecord",
+    "JobSpec",
+    "MotivationConfig",
+    "Partition",
+    "RunResult",
+    "SparrowScheduler",
+    "SplitScheduler",
+    "Trace",
+    "UniformMisestimation",
+    "WorkStealing",
+    "compare_runs",
+    "google_like_trace",
+    "kmeans_trace",
+    "motivation_trace",
+    "percentile",
+    "__version__",
+]

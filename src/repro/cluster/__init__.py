@@ -1,0 +1,33 @@
+"""Cluster substrate: workers, queues, jobs, tasks and the run engine.
+
+The model follows Section 3.1 of the paper: a cluster of single-slot worker
+nodes, each with one FIFO queue.  A job is a set of tasks that may run in
+parallel; a job completes when its last task finishes.
+"""
+
+from repro.cluster.cluster import Cluster, Partition
+from repro.cluster.engine import ClusterEngine, EngineConfig
+from repro.cluster.job import Job, JobClass, classify
+from repro.cluster.records import JobRecord, RunResult, UtilizationSample
+from repro.cluster.task import Task, TaskState
+from repro.cluster.worker import ProbeEntry, QueueEntry, TaskEntry, Worker, WorkerState
+
+__all__ = [
+    "Cluster",
+    "ClusterEngine",
+    "EngineConfig",
+    "Job",
+    "JobClass",
+    "JobRecord",
+    "Partition",
+    "ProbeEntry",
+    "QueueEntry",
+    "RunResult",
+    "Task",
+    "TaskEntry",
+    "TaskState",
+    "UtilizationSample",
+    "Worker",
+    "WorkerState",
+    "classify",
+]

@@ -1,0 +1,309 @@
+"""The run engine: drives workers, the probe protocol and metrics.
+
+All state transitions live here so the event ordering of a run is easy to
+audit.  Scheduler policies (:mod:`repro.schedulers`) only decide *where*
+probes and tasks go; the engine owns *when* things happen.
+
+Protocol costs follow Section 4.1 of the paper: every message (probe
+placement, task request, task response, task placement) pays one network
+delay; scheduling decisions and stealing cost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.records import (
+    JobRecord,
+    RunResult,
+    StealingStats,
+    UtilizationSample,
+)
+from repro.cluster.task import Task
+from repro.cluster.worker import ProbeEntry, TaskEntry, Worker, WorkerState
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.network import DEFAULT_NETWORK_DELAY_S, NetworkModel
+from repro.core.simulation import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.schedulers.base import SchedulerPolicy
+    from repro.schedulers.frontend import ProbeFrontend
+    from repro.schedulers.stealing import WorkStealing
+    from repro.workloads.spec import JobSpec
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Run-wide knobs.
+
+    ``cutoff`` is the long/short threshold in seconds (Section 3.3); it is
+    engine-level because entry classes (used by stealing eligibility and
+    reporting) depend on it even for baseline schedulers.
+    """
+
+    cutoff: float
+    seed: int = 0
+    network_delay: float = DEFAULT_NETWORK_DELAY_S
+    utilization_interval: float = 100.0
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cutoff <= 0:
+            raise ConfigurationError(f"cutoff must be positive, got {self.cutoff}")
+        if self.utilization_interval <= 0:
+            raise ConfigurationError("utilization_interval must be positive")
+
+
+class ClusterEngine:
+    """Couples a :class:`Simulation`, a :class:`Cluster` and a policy."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: "SchedulerPolicy",
+        config: EngineConfig,
+        stealing: "WorkStealing | None" = None,
+        estimate: Callable[["JobSpec"], float] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.config = config
+        self.stealing = stealing
+        self.estimate = estimate or (lambda spec: spec.mean_task_duration)
+        self.sim = Simulation()
+        self.network = NetworkModel(config.network_delay)
+        self._busy = 0
+        self._jobs_total = 0
+        self._jobs_done = 0
+        self._done = False
+        self._utilization: list[UtilizationSample] = []
+        self._sampler_handle = None
+        scheduler.bind(self)
+        if stealing is not None:
+            stealing.bind(self)
+
+    # ------------------------------------------------------------------
+    # Properties used by policies.
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def all_jobs_done(self) -> bool:
+        return self._done
+
+    # ------------------------------------------------------------------
+    # Placement API (called by scheduler policies).
+    # ------------------------------------------------------------------
+    def place_probe(self, worker_id: int, job: Job, frontend: "ProbeFrontend") -> None:
+        """Send a late-binding probe to ``worker_id`` (one network delay)."""
+        entry = ProbeEntry(job, frontend)
+        self.sim.schedule(self.network.sample(), self._deliver_entry, worker_id, entry)
+
+    def place_task(self, worker_id: int, task: Task) -> None:
+        """Send a concrete task to ``worker_id`` (one network delay)."""
+        entry = TaskEntry(task)
+        self.sim.schedule(self.network.sample(), self._deliver_entry, worker_id, entry)
+
+    # ------------------------------------------------------------------
+    # Worker state machine.
+    # ------------------------------------------------------------------
+    def _sync_steal_hint(self, worker: Worker) -> None:
+        """Keep the cluster's steal-hint tally current for this worker.
+
+        Called after every queue or slot mutation.  A 0 -> 1 transition of
+        the cluster tally wakes parked idle workers in the stealing policy.
+        """
+        if worker.in_short_partition:
+            return
+        hint = worker.steal_hint()
+        if hint == worker.counted_steal_hint:
+            return
+        worker.counted_steal_hint = hint
+        cluster = self.cluster
+        if hint:
+            cluster.steal_hint_count += 1
+            if cluster.steal_hint_count == 1 and self.stealing is not None:
+                self.stealing.on_steal_work_appeared()
+        else:
+            cluster.steal_hint_count -= 1
+
+    def _deliver_entry(self, worker_id: int, entry) -> None:
+        worker = self.cluster.workers[worker_id]
+        worker.enqueue(entry)
+        if worker.state is WorkerState.IDLE:
+            self._worker_try_start(worker)
+        else:
+            self._sync_steal_hint(worker)
+
+    def _worker_try_start(self, worker: Worker) -> None:
+        """Pop queue entries until the worker is busy, waiting, or drained."""
+        while worker.state is WorkerState.IDLE:
+            if not worker.queue:
+                self._sync_steal_hint(worker)
+                self._worker_went_idle(worker)
+                return
+            entry = worker.pop_next()
+            if isinstance(entry, TaskEntry):
+                self._start_task(worker, entry.task, entry)
+            else:
+                # Late binding: ask the job's frontend for a task.
+                worker.state = WorkerState.WAITING
+                worker.current_entry = entry
+                self._sync_steal_hint(worker)
+                self.sim.schedule(
+                    self.network.sample(), self._probe_request_arrives, worker, entry
+                )
+                return
+
+    def _probe_request_arrives(self, worker: Worker, entry: ProbeEntry) -> None:
+        """The task request reached the scheduler; decide task-or-cancel."""
+        task = entry.frontend.next_task()
+        self.sim.schedule(
+            self.network.sample(), self._probe_response_arrives, worker, entry, task
+        )
+
+    def _probe_response_arrives(
+        self, worker: Worker, entry: ProbeEntry, task: Task | None
+    ) -> None:
+        if worker.state is not WorkerState.WAITING or worker.current_entry is not entry:
+            raise SimulationError(
+                f"worker {worker.worker_id} received a stale probe response"
+            )
+        worker.state = WorkerState.IDLE
+        worker.current_entry = None
+        if task is None:
+            # Cancelled: all of the job's tasks were already handed out.
+            self._worker_try_start(worker)
+        else:
+            if entry.stolen:
+                task.was_stolen = True
+                task.job.stolen_tasks += 1
+            self._start_task(worker, task, entry)
+
+    def _start_task(self, worker: Worker, task: Task, entry) -> None:
+        worker.state = WorkerState.BUSY
+        worker.current_entry = entry
+        worker.current_task = task
+        worker.steal_backoff = 0.0
+        task.start(worker.worker_id, self.sim.now)
+        self._busy += 1
+        self._sync_steal_hint(worker)
+        self.sim.schedule(task.duration, self._task_finished, worker, task)
+
+    def _task_finished(self, worker: Worker, task: Task) -> None:
+        task.finish(self.sim.now)
+        worker.state = WorkerState.IDLE
+        worker.current_entry = None
+        worker.current_task = None
+        worker.tasks_executed += 1
+        self._busy -= 1
+        self.scheduler.on_task_finish(task)
+        if task.job.record_task_finish(self.sim.now):
+            self._jobs_done += 1
+            if self._jobs_done == self._jobs_total:
+                self._done = True
+        self._worker_try_start(worker)
+
+    def _worker_went_idle(self, worker: Worker) -> None:
+        if self.stealing is not None and not self._done:
+            self.stealing.on_worker_idle(worker)
+
+    # ------------------------------------------------------------------
+    # Work-stealing support (called by the stealing policy).
+    # ------------------------------------------------------------------
+    def transfer_stolen_entries(
+        self, victim: Worker, thief: Worker, start: int, stop: int
+    ) -> int:
+        """Move ``victim.queue[start:stop]`` to the (idle) thief."""
+        stolen = victim.remove_range(start, stop)
+        for entry in stolen:
+            if isinstance(entry, ProbeEntry):
+                entry.stolen = True
+            else:
+                entry.task.was_stolen = True
+                entry.task.job.stolen_tasks += 1
+        victim.tasks_stolen_from += len(stolen)
+        thief.tasks_stolen_by += len(stolen)
+        self._sync_steal_hint(victim)
+        thief.enqueue_front(stolen)
+        self._sync_steal_hint(thief)
+        self._worker_try_start(thief)
+        return len(stolen)
+
+    # ------------------------------------------------------------------
+    # Utilization sampling.
+    # ------------------------------------------------------------------
+    def _sample_utilization(self) -> None:
+        self._utilization.append(
+            UtilizationSample(self.sim.now, self._busy, self.cluster.n_workers)
+        )
+        if not self._done:
+            self.sim.schedule(
+                self.config.utilization_interval, self._sample_utilization
+            )
+
+    # ------------------------------------------------------------------
+    # Run loop.
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence["JobSpec"]) -> RunResult:
+        """Materialize jobs from immutable specs, run to completion."""
+        if not trace:
+            raise ConfigurationError("cannot run an empty trace")
+        jobs: list[Job] = []
+        for spec in sorted(trace, key=lambda s: (s.submit_time, s.job_id)):
+            job = Job(
+                job_id=spec.job_id,
+                submit_time=spec.submit_time,
+                task_durations=spec.task_durations,
+                estimated_task_duration=self.estimate(spec),
+                cutoff=self.config.cutoff,
+            )
+            jobs.append(job)
+        self._jobs_total = len(jobs)
+        for job in jobs:
+            self.sim.schedule_at(job.submit_time, self.scheduler.on_job_submit, job)
+        self.sim.schedule_at(
+            jobs[0].submit_time + self.config.utilization_interval,
+            self._sample_utilization,
+        )
+        self.sim.run(max_events=self.config.max_events)
+        if not self._done:
+            raise SimulationError(
+                f"run drained its event heap with only {self._jobs_done}/"
+                f"{self._jobs_total} jobs complete"
+            )
+        return self._build_result(jobs)
+
+    def _build_result(self, jobs: Iterable[Job]) -> RunResult:
+        records = tuple(
+            JobRecord(
+                job_id=j.job_id,
+                submit_time=j.submit_time,
+                completion_time=j.completion_time,  # type: ignore[arg-type]
+                num_tasks=j.num_tasks,
+                true_mean_task_duration=j.true_mean_task_duration,
+                estimated_task_duration=j.estimated_task_duration,
+                task_seconds=j.task_seconds,
+                scheduled_class=j.scheduled_class,
+                true_class=j.true_class,
+                stolen_tasks=j.stolen_tasks,
+            )
+            for j in jobs
+        )
+        stealing = (
+            self.stealing.stats() if self.stealing is not None else StealingStats()
+        )
+        return RunResult(
+            scheduler_name=self.scheduler.name,
+            n_workers=self.cluster.n_workers,
+            jobs=records,
+            utilization=tuple(self._utilization),
+            stealing=stealing,
+            events_fired=self.sim.events_fired,
+            end_time=self.sim.now,
+        )

@@ -1,0 +1,97 @@
+"""Immutable result records produced by a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.job import JobClass
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """Everything the metrics layer needs to know about one finished job."""
+
+    job_id: int
+    submit_time: float
+    completion_time: float
+    num_tasks: int
+    true_mean_task_duration: float
+    estimated_task_duration: float
+    task_seconds: float
+    scheduled_class: JobClass
+    true_class: JobClass
+    stolen_tasks: int
+
+    @property
+    def runtime(self) -> float:
+        return self.completion_time - self.submit_time
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationSample:
+    """One utilization snapshot (taken every 100 s, Section 2.3)."""
+
+    time: float
+    busy_workers: int
+    total_workers: int
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_workers / self.total_workers
+
+
+@dataclass(frozen=True, slots=True)
+class StealingStats:
+    """Aggregate work-stealing counters for a run."""
+
+    rounds: int = 0
+    successful_rounds: int = 0
+    victims_probed: int = 0
+    entries_stolen: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        if self.rounds == 0:
+            return 0.0
+        return self.successful_rounds / self.rounds
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Output of :meth:`ClusterEngine.run`."""
+
+    scheduler_name: str
+    n_workers: int
+    jobs: tuple[JobRecord, ...]
+    utilization: tuple[UtilizationSample, ...]
+    stealing: StealingStats = field(default=StealingStats())
+    events_fired: int = 0
+    end_time: float = 0.0
+
+    def runtimes(self, job_class: JobClass | None = None) -> list[float]:
+        """Job runtimes, optionally filtered by *true* class."""
+        return [
+            j.runtime
+            for j in self.jobs
+            if job_class is None or j.true_class is job_class
+        ]
+
+    def records(self, job_class: JobClass | None = None) -> list[JobRecord]:
+        return [
+            j for j in self.jobs if job_class is None or j.true_class is job_class
+        ]
+
+    def median_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        values = sorted(s.utilization for s in self.utilization)
+        n = len(values)
+        mid = n // 2
+        if n % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    def max_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return max(s.utilization for s in self.utilization)

@@ -1,0 +1,81 @@
+"""Task state machine."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.core.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.job import Job
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task."""
+
+    PENDING = "pending"  # created, not yet handed to any worker
+    RUNNING = "running"  # executing on a worker
+    FINISHED = "finished"
+
+
+class Task:
+    """One unit of work belonging to a job.
+
+    ``duration`` is the *true* execution time; schedulers only ever see the
+    job-level estimate (Section 3.3).
+    """
+
+    __slots__ = (
+        "job",
+        "index",
+        "duration",
+        "state",
+        "worker_id",
+        "start_time",
+        "finish_time",
+        "was_stolen",
+    )
+
+    def __init__(self, job: "Job", index: int, duration: float) -> None:
+        if duration <= 0:
+            raise SimulationError(f"task duration must be positive, got {duration}")
+        self.job = job
+        self.index = index
+        self.duration = duration
+        self.state = TaskState.PENDING
+        self.worker_id: int | None = None
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+        self.was_stolen = False
+
+    def start(self, worker_id: int, now: float) -> None:
+        if self.state is not TaskState.PENDING:
+            raise SimulationError(
+                f"task {self.job.job_id}:{self.index} started twice "
+                f"(state={self.state})"
+            )
+        self.state = TaskState.RUNNING
+        self.worker_id = worker_id
+        self.start_time = now
+
+    def finish(self, now: float) -> None:
+        if self.state is not TaskState.RUNNING:
+            raise SimulationError(
+                f"task {self.job.job_id}:{self.index} finished while {self.state}"
+            )
+        self.state = TaskState.FINISHED
+        self.finish_time = now
+
+    @property
+    def wait_time(self) -> float:
+        """Time between job submission and task start (queueing + protocol)."""
+        if self.start_time is None:
+            raise SimulationError("task has not started")
+        return self.start_time - self.job.submit_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task(job={self.job.job_id}, idx={self.index}, "
+            f"dur={self.duration:.1f}, {self.state.value})"
+        )

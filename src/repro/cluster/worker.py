@@ -1,0 +1,239 @@
+"""Worker nodes with single-slot FIFO queues (Section 3.1).
+
+A queue holds two kinds of entries:
+
+* :class:`TaskEntry` — a concrete task placed by the centralized scheduler
+  (or a stolen concrete task).  The task and its duration are known.
+* :class:`ProbeEntry` — a late-binding reservation placed by a distributed
+  scheduler (Section 3.5).  When it reaches the head of the queue the
+  worker asks the job's frontend for a task and receives either a task or a
+  cancel.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cluster.job import JobClass
+from repro.core.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.cluster.job import Job
+    from repro.cluster.task import Task
+    from repro.schedulers.frontend import ProbeFrontend
+
+
+class WorkerState(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"  # executing a task
+    WAITING = "waiting"  # probe at head; awaiting the scheduler's response
+
+
+def find_first_short_group(
+    executing_long: bool, is_long_flags: Iterable[bool]
+) -> tuple[int, int] | None:
+    """Locate the first run of short entries queued behind a long one.
+
+    This is the Figure 3 stealing rule, shared by the simulator's
+    :class:`Worker` and the prototype runtime's node monitor: the first
+    maximal run of consecutive short entries preceded by a long entry
+    (counting the entry occupying the slot) is eligible.  Returns
+    ``(start, stop)`` indices into the queue or ``None``.
+    """
+    seen_long = executing_long
+    start = None
+    i = -1
+    for i, is_long in enumerate(is_long_flags):
+        if is_long:
+            if start is not None:
+                return (start, i)
+            seen_long = True
+        elif seen_long and start is None:
+            start = i
+    if start is not None:
+        return (start, i + 1)
+    return None
+
+
+class QueueEntry:
+    """Base class for queue entries."""
+
+    __slots__ = ("job_class",)
+
+    def __init__(self, job_class: JobClass) -> None:
+        self.job_class = job_class
+
+    @property
+    def is_long(self) -> bool:
+        return self.job_class is JobClass.LONG
+
+    @property
+    def is_short(self) -> bool:
+        return self.job_class is JobClass.SHORT
+
+
+class TaskEntry(QueueEntry):
+    """A concrete task sitting in a worker queue."""
+
+    __slots__ = ("task",)
+
+    def __init__(self, task: "Task") -> None:
+        super().__init__(task.job.scheduled_class)
+        self.task = task
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskEntry({self.task!r})"
+
+
+class ProbeEntry(QueueEntry):
+    """A late-binding reservation for one of a job's tasks."""
+
+    __slots__ = ("job", "frontend", "stolen")
+
+    def __init__(self, job: "Job", frontend: "ProbeFrontend") -> None:
+        super().__init__(job.scheduled_class)
+        self.job = job
+        self.frontend = frontend
+        self.stolen = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbeEntry(job={self.job.job_id}, {self.job_class.value})"
+
+
+class Worker:
+    """A single-slot server with one FIFO queue.
+
+    The worker itself is passive state; the :class:`ClusterEngine` drives
+    all transitions so that the event ordering lives in one place.
+    """
+
+    __slots__ = (
+        "worker_id",
+        "in_short_partition",
+        "state",
+        "queue",
+        "current_entry",
+        "current_task",
+        "long_entries",
+        "counted_steal_hint",
+        "steal_backoff",
+        "pending_steal_retry",
+        "tasks_executed",
+        "tasks_stolen_from",
+        "tasks_stolen_by",
+    )
+
+    def __init__(self, worker_id: int, in_short_partition: bool) -> None:
+        self.worker_id = worker_id
+        self.in_short_partition = in_short_partition
+        self.state = WorkerState.IDLE
+        self.queue: deque[QueueEntry] = deque()
+        self.current_entry: QueueEntry | None = None
+        self.current_task: "Task | None" = None
+        #: Long entries in the queue — an O(1) steal-eligibility pre-check.
+        self.long_entries = 0
+        #: Whether this worker is counted in the cluster's steal-hint
+        #: tally (engine-maintained, general partition only).
+        self.counted_steal_hint = False
+        # Work-stealing retry bookkeeping (see stealing policy).
+        self.steal_backoff = 0.0
+        self.pending_steal_retry = None  # EventHandle | None
+        # Statistics.
+        self.tasks_executed = 0
+        self.tasks_stolen_from = 0
+        self.tasks_stolen_by = 0
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state is WorkerState.IDLE
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def enqueue(self, entry: QueueEntry) -> None:
+        self.queue.append(entry)
+        if entry.is_long:
+            self.long_entries += 1
+
+    def enqueue_front(self, entries: Iterable[QueueEntry]) -> None:
+        """Place stolen entries at the head (they were blocked elsewhere)."""
+        for entry in reversed(list(entries)):
+            self.queue.appendleft(entry)
+            if entry.is_long:
+                self.long_entries += 1
+
+    def pop_next(self) -> QueueEntry:
+        if not self.queue:
+            raise SimulationError(f"worker {self.worker_id} popped an empty queue")
+        entry = self.queue.popleft()
+        if entry.is_long:
+            self.long_entries -= 1
+        return entry
+
+    @property
+    def current_class(self) -> JobClass | None:
+        """Class of the entry currently occupying the slot, if any."""
+        if self.current_entry is None:
+            return None
+        return self.current_entry.job_class
+
+    def steal_hint(self) -> bool:
+        """O(1) necessary condition for :meth:`eligible_steal_range`.
+
+        True when a long entry sits ahead of at least one short entry —
+        the cluster-wide tally of this hint lets idle workers park instead
+        of polling when no steal can possibly succeed.
+        """
+        queue_len = len(self.queue)
+        if queue_len == 0:
+            return False
+        if queue_len == self.long_entries:
+            return False  # nothing short to steal
+        if self.long_entries > 0:
+            return True
+        return self.current_class is JobClass.LONG
+
+    def eligible_steal_range(self) -> tuple[int, int] | None:
+        """Locate the group of short entries eligible for stealing.
+
+        Implements Figure 3: the first maximal run of consecutive short
+        entries that is preceded by a long entry (counting the entry
+        currently occupying the slot).  Returns ``(start, stop)`` indices
+        into the queue, or ``None`` when nothing is eligible.
+        """
+        queue = self.queue
+        if not queue:
+            return None
+        executing_long = self.current_class is JobClass.LONG
+        # O(1) pre-checks: a steal needs a long ahead of a short somewhere.
+        if not executing_long and self.long_entries == 0:
+            return None
+        if self.long_entries == len(queue):
+            return None  # nothing short to steal
+        return find_first_short_group(
+            executing_long, (entry.is_long for entry in queue)
+        )
+
+    def remove_range(self, start: int, stop: int) -> list[QueueEntry]:
+        """Remove and return ``queue[start:stop]`` preserving order."""
+        if not 0 <= start <= stop <= len(self.queue):
+            raise SimulationError(
+                f"invalid steal range [{start}, {stop}) for queue of "
+                f"length {len(self.queue)}"
+            )
+        items = list(self.queue)
+        stolen = items[start:stop]
+        remaining = items[:start] + items[stop:]
+        self.queue = deque(remaining)
+        self.long_entries -= sum(1 for e in stolen if e.is_long)
+        return stolen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        part = "short" if self.in_short_partition else "general"
+        return (
+            f"Worker(id={self.worker_id}, {part}, {self.state.value}, "
+            f"qlen={len(self.queue)})"
+        )

@@ -1,0 +1,17 @@
+"""Exception hierarchy shared by the whole reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler policy violated one of its invariants."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""

@@ -1,0 +1,79 @@
+"""Seeded randomness helpers.
+
+Every stochastic component in the reproduction receives its own named
+stream derived from a single experiment seed, so that e.g. changing the
+stealing policy's random choices does not perturb the workload generator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+# Fixed, arbitrary constants that map stream names to distinct substreams.
+_STREAM_SALT = 0x5F3759DF
+
+
+def make_rng(seed: int, stream: str = "") -> np.random.Generator:
+    """Create a deterministic generator for ``(seed, stream)``.
+
+    Distinct ``stream`` names yield statistically independent generators
+    for the same ``seed``.
+    """
+    material = [seed, _STREAM_SALT]
+    material.extend(ord(c) for c in stream)
+    return np.random.default_rng(np.random.SeedSequence(material))
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, k: int
+) -> list[int]:
+    """Sample ``k`` distinct integers from ``range(population)``.
+
+    Uses Floyd's algorithm: O(k) time and memory regardless of the
+    population size, which matters when probing 2t servers out of tens of
+    thousands.
+    """
+    if k > population:
+        raise ValueError(f"cannot sample {k} items from population of {population}")
+    selected: set[int] = set()
+    result: list[int] = []
+    for j in range(population - k, population):
+        t = int(rng.integers(0, j + 1))
+        if t in selected:
+            t = j
+        selected.add(t)
+        result.append(t)
+    # Floyd's algorithm biases order; shuffle for a uniformly random order.
+    rng.shuffle(result)  # type: ignore[arg-type]
+    return [int(x) for x in result]
+
+
+def spread_sample(
+    rng: np.random.Generator, population: Sequence[int], k: int
+) -> list[int]:
+    """Pick ``k`` items from ``population``, as evenly spread as possible.
+
+    When ``k <= len(population)`` this is a plain sample without
+    replacement.  When ``k`` exceeds the population (a job with more probes
+    than eligible servers), items repeat, but no item is used ``n+1`` times
+    before every item has been used ``n`` times.  This mirrors how a probe
+    fan-out larger than the cluster must wrap around.
+    """
+    n = len(population)
+    if n == 0:
+        raise ValueError("cannot sample from an empty population")
+    if k <= n:
+        idx = sample_without_replacement(rng, n, k)
+        return [population[i] for i in idx]
+    result: list[int] = []
+    full_rounds, remainder = divmod(k, n)
+    for _ in range(full_rounds):
+        order = list(range(n))
+        rng.shuffle(order)
+        result.extend(population[i] for i in order)
+    if remainder:
+        idx = sample_without_replacement(rng, n, remainder)
+        result.extend(population[i] for i in idx)
+    return result

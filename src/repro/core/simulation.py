@@ -1,0 +1,147 @@
+"""Minimal, fast discrete-event simulation engine.
+
+The engine is a binary heap of timestamped callbacks.  Determinism matters
+more than raw speed for a reproduction: two events scheduled for the same
+timestamp always fire in the order they were scheduled (a monotonically
+increasing sequence number breaks ties), so a fixed seed produces a
+bit-identical run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.core.errors import SimulationError
+
+
+class EventHandle:
+    """A scheduled callback and its cancellation token.
+
+    Instances are created by :meth:`Simulation.schedule` /
+    :meth:`Simulation.schedule_at`; user code only ever needs
+    :meth:`cancel` and the read-only attributes.  Heap ordering is done on
+    ``(time, seq)`` tuples (C-level comparisons), not on handles.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call multiple times."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulation:
+    """A discrete-event simulation clock and event heap."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap, including cancelled ones."""
+        return len(self._heap)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns ``False`` if none remain."""
+        heap = self._heap
+        while heap:
+            _, _, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self._events_fired += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
+        """Run until the heap drains, ``until`` is reached, or the budget ends.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` fire.
+        ``max_events`` guards against runaway simulations and raises
+        :class:`SimulationError` when exhausted.
+        """
+        if self._running:
+            raise SimulationError("Simulation.run() is not reentrant")
+        self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        fired = 0
+        try:
+            while heap:
+                time, _, handle = heap[0]
+                if handle.cancelled:
+                    heappop(heap)
+                    continue
+                if until is not None and time > until:
+                    self._now = until
+                    return
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {fired} events at "
+                        f"t={self._now:.3f}"
+                    )
+                heappop(heap)
+                self._now = time
+                self._events_fired += 1
+                fired += 1
+                handle.callback(*handle.args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,33 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes a ``run(...)`` function returning a
+:class:`repro.experiments.report.FigureResult` whose ``render()`` prints
+the same rows/series the paper reports.  The benchmark harness under
+``benchmarks/`` calls these drivers; they are also directly usable::
+
+    from repro.experiments import fig05_google
+    print(fig05_google.run().render())
+"""
+
+from repro.experiments.config import (
+    GOOGLE_UTILIZATION_TARGETS,
+    RunSpec,
+    build_engine,
+    execute,
+    sweep_sizes,
+)
+from repro.experiments.report import FigureResult, ascii_cdf, ascii_table
+from repro.experiments.runner import clear_cache, run_cached
+
+__all__ = [
+    "FigureResult",
+    "GOOGLE_UTILIZATION_TARGETS",
+    "RunSpec",
+    "ascii_cdf",
+    "ascii_table",
+    "build_engine",
+    "clear_cache",
+    "execute",
+    "run_cached",
+    "sweep_sizes",
+]

@@ -1,0 +1,121 @@
+"""Run specifications shared by every experiment driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.cluster import Cluster, ClusterEngine, EngineConfig
+from repro.cluster.records import RunResult
+from repro.core.errors import ConfigurationError
+from repro.schedulers import (
+    CentralizedScheduler,
+    HawkScheduler,
+    SparrowScheduler,
+    SplitScheduler,
+    WorkStealing,
+)
+from repro.workloads.spec import Trace
+
+#: Offered-load points for cluster-size sweeps, expressed as offered
+#: task-seconds over cluster capacity.  They mirror the paper's 10k-50k
+#: node sweep of the Google trace: overload -> high load -> mostly idle.
+GOOGLE_UTILIZATION_TARGETS = (1.25, 1.0, 0.8, 0.65, 0.5, 0.35)
+
+#: The load point used for the single-cluster-size experiments
+#: (Figures 7, 12-15); corresponds to the paper's 15000-node setting.
+HIGH_LOAD_TARGET = 1.0
+
+#: Scheduler names accepted by :class:`RunSpec`.
+SCHEDULER_NAMES = (
+    "hawk",
+    "sparrow",
+    "centralized",
+    "split",
+    "hawk-no-centralized",
+    "hawk-no-partition",
+    "hawk-no-stealing",
+)
+
+#: Schedulers that use the work-stealing runtime mechanism.
+_STEALING = {"hawk", "hawk-no-centralized", "hawk-no-partition"}
+
+#: Schedulers that reserve a short partition.
+_PARTITIONED = {"hawk", "split", "hawk-no-centralized", "hawk-no-stealing"}
+
+
+@dataclass(frozen=True, slots=True)
+class RunSpec:
+    """Everything needed to build one engine run (minus the trace)."""
+
+    scheduler: str
+    n_workers: int
+    cutoff: float
+    short_partition_fraction: float = 0.17
+    seed: int = 0
+    probe_ratio: int = 2
+    steal_cap: int = 10
+    estimate: Callable | None = field(default=None, compare=False)
+    #: Opaque tag making otherwise-equal specs distinct in the run cache
+    #: (used when ``estimate`` differs).
+    estimate_tag: str = "exact"
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"expected one of {SCHEDULER_NAMES}"
+            )
+        if self.n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+
+    def with_(self, **changes) -> "RunSpec":
+        return replace(self, **changes)
+
+
+def build_engine(spec: RunSpec) -> ClusterEngine:
+    """Construct the cluster, policy and stealing mechanism for a spec."""
+    partition_fraction = (
+        spec.short_partition_fraction if spec.scheduler in _PARTITIONED else 0.0
+    )
+    cluster = Cluster(spec.n_workers, short_partition_fraction=partition_fraction)
+    if spec.scheduler == "sparrow":
+        scheduler = SparrowScheduler(probe_ratio=spec.probe_ratio)
+    elif spec.scheduler == "centralized":
+        scheduler = CentralizedScheduler()
+    elif spec.scheduler == "split":
+        scheduler = SplitScheduler(probe_ratio=spec.probe_ratio)
+    elif spec.scheduler == "hawk-no-centralized":
+        scheduler = HawkScheduler(
+            probe_ratio=spec.probe_ratio, centralize_long=False
+        )
+    else:  # hawk, hawk-no-partition, hawk-no-stealing
+        scheduler = HawkScheduler(probe_ratio=spec.probe_ratio)
+    stealing = (
+        WorkStealing(cap=spec.steal_cap) if spec.scheduler in _STEALING else None
+    )
+    config = EngineConfig(cutoff=spec.cutoff, seed=spec.seed)
+    return ClusterEngine(
+        cluster, scheduler, config, stealing=stealing, estimate=spec.estimate
+    )
+
+
+def execute(spec: RunSpec, trace: Trace) -> RunResult:
+    """Build and run one experiment configuration."""
+    return build_engine(spec).run(trace)
+
+
+def sweep_sizes(trace: Trace, utilization_targets=GOOGLE_UTILIZATION_TARGETS):
+    """Cluster sizes whose offered load matches the given targets.
+
+    The paper varies the number of nodes to vary utilization
+    (Section 4.2); this helper inverts that: given offered-load targets it
+    returns the cluster sizes achieving them for the trace at hand.
+    """
+    full = trace.nodes_for_full_utilization()
+    return tuple(max(3, int(round(full / target))) for target in utilization_targets)
+
+
+def high_load_size(trace: Trace, target: float = HIGH_LOAD_TARGET) -> int:
+    """The single cluster size used by the fixed-size experiments."""
+    return max(3, int(round(trace.nodes_for_full_utilization() / target)))

@@ -1,0 +1,53 @@
+"""Figure 7: breaking down Hawk's benefits.
+
+Each of Hawk's three mechanisms is removed in turn and the resulting
+runtimes are normalized to full Hawk (values > 1 mean the variant is
+worse).  Paper findings: without centralized scheduling long jobs take a
+significant hit (and short jobs improve slightly); without the partition
+short jobs suffer and long jobs slightly improve; without stealing both
+suffer, short jobs greatly.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.job import JobClass
+from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_cached
+from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.metrics.comparison import normalized_percentile
+
+VARIANTS = ("hawk-no-centralized", "hawk-no-partition", "hawk-no-stealing")
+
+
+def run(
+    scale: str = "full", seed: int = 0, load_target: float = HIGH_LOAD_TARGET
+) -> FigureResult:
+    trace = google_trace(scale, seed)
+    cutoff = google_cutoff()
+    n = high_load_size(trace, load_target)
+    base_spec = RunSpec(
+        scheduler="hawk",
+        n_workers=n,
+        cutoff=cutoff,
+        short_partition_fraction=google_short_fraction(),
+        seed=seed,
+    )
+    base = run_cached(base_spec, trace)
+
+    result = FigureResult(
+        figure_id="Figure 7",
+        title=f"Ablation normalized to full Hawk ({n} nodes)",
+        headers=("variant", "short p50", "short p90", "long p50", "long p90"),
+    )
+    for variant in VARIANTS:
+        res = run_cached(base_spec.with_(scheduler=variant), trace)
+        result.add_row(
+            variant,
+            normalized_percentile(res, base, JobClass.SHORT, 50),
+            normalized_percentile(res, base, JobClass.SHORT, 90),
+            normalized_percentile(res, base, JobClass.LONG, 50),
+            normalized_percentile(res, base, JobClass.LONG, 90),
+        )
+    result.add_note("values > 1: removing the mechanism hurts that class")
+    return result

@@ -1,0 +1,65 @@
+"""Figures 8-9: Hawk normalized to a fully centralized scheduler.
+
+The baseline schedules *all* jobs with the Section 3.7 least-waiting-time
+algorithm over the whole cluster (no partition, no stealing).  Paper
+findings: the centralized scheduler penalizes short jobs under heavy load
+(Figure 8) while being slightly better for long jobs, which can use the
+entire cluster (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import (
+    GOOGLE_UTILIZATION_TARGETS,
+    RunSpec,
+    sweep_sizes,
+)
+from repro.experiments.report import FigureResult
+from repro.experiments.sweeps import sweep
+from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+
+
+def run(
+    scale: str = "full",
+    seed: int = 0,
+    utilization_targets=GOOGLE_UTILIZATION_TARGETS,
+) -> FigureResult:
+    trace = google_trace(scale, seed)
+    cutoff = google_cutoff()
+    sizes = sweep_sizes(trace, utilization_targets)
+    hawk = RunSpec(
+        scheduler="hawk",
+        n_workers=1,
+        cutoff=cutoff,
+        short_partition_fraction=google_short_fraction(),
+        seed=seed,
+    )
+    centralized = RunSpec(
+        scheduler="centralized", n_workers=1, cutoff=cutoff, seed=seed
+    )
+    result = FigureResult(
+        figure_id="Figures 8-9",
+        title="Hawk normalized to fully centralized (Google trace)",
+        headers=(
+            "nodes",
+            "util(centralized)",
+            "short p50",
+            "short p90",
+            "long p50",
+            "long p90",
+        ),
+    )
+    for point in sweep(trace, sizes, hawk, centralized):
+        result.add_row(
+            point.n_workers,
+            point.baseline_median_utilization,
+            point.short_p50_ratio,
+            point.short_p90_ratio,
+            point.long_p50_ratio,
+            point.long_p90_ratio,
+        )
+    result.add_note(
+        "Figure 8 = short columns (Hawk wins under heavy load), "
+        "Figure 9 = long columns (centralized slightly better: whole cluster)"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Figure 15: sensitivity to the number of stealing attempts.
+
+The maximum number of random nodes an idle server contacts per stealing
+round sweeps 1..250; short-job runtimes are normalized to the cap=1 run.
+Paper finding: performance increases with the cap, but even a low value
+(10) captures most of the benefit.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.job import JobClass
+from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_cached
+from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.metrics.comparison import normalized_percentile
+
+#: The paper's x-axis.
+PAPER_CAPS = (1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250)
+
+
+def run(
+    scale: str = "full",
+    seed: int = 0,
+    caps=PAPER_CAPS,
+    load_target: float = HIGH_LOAD_TARGET,
+) -> FigureResult:
+    trace = google_trace(scale, seed)
+    cutoff = google_cutoff()
+    n = high_load_size(trace, load_target)
+
+    def spec(cap: int) -> RunSpec:
+        return RunSpec(
+            scheduler="hawk",
+            n_workers=n,
+            cutoff=cutoff,
+            short_partition_fraction=google_short_fraction(),
+            seed=seed,
+            steal_cap=cap,
+        )
+
+    base = run_cached(spec(1), trace)
+    result = FigureResult(
+        figure_id="Figure 15",
+        title=f"Steal-cap sensitivity normalized to cap=1 ({n} nodes)",
+        headers=("cap", "short p50", "short p90", "steal success rate"),
+    )
+    for cap in caps:
+        res = run_cached(spec(cap), trace)
+        result.add_row(
+            cap,
+            normalized_percentile(res, base, JobClass.SHORT, 50),
+            normalized_percentile(res, base, JobClass.SHORT, 90),
+            res.stealing.success_rate,
+        )
+    result.add_note(
+        "ratios should fall with the cap and flatten by cap≈10 "
+        "(paper Section 4.9)"
+    )
+    return result

@@ -1,0 +1,79 @@
+"""Shared machinery for cluster-size sweep comparisons.
+
+Figures 5, 6, 8-9 and 10-11 all have the same skeleton: run a candidate
+scheduler and a baseline over a range of cluster sizes on one trace, and
+report candidate-normalized-to-baseline percentile runtimes per job class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.job import JobClass
+from repro.cluster.records import RunResult
+from repro.experiments.config import RunSpec
+from repro.experiments.runner import run_cached
+from repro.metrics.comparison import (
+    average_runtime_ratio,
+    fraction_improved,
+    normalized_percentile,
+)
+from repro.workloads.spec import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One cluster size of a candidate-vs-baseline sweep."""
+
+    n_workers: int
+    baseline_median_utilization: float
+    short_p50_ratio: float
+    short_p90_ratio: float
+    long_p50_ratio: float
+    long_p90_ratio: float
+    candidate: RunResult
+    baseline: RunResult
+
+
+def compare_at_size(
+    trace: Trace,
+    n_workers: int,
+    candidate_spec: RunSpec,
+    baseline_spec: RunSpec,
+) -> SweepPoint:
+    candidate = run_cached(candidate_spec.with_(n_workers=n_workers), trace)
+    baseline = run_cached(baseline_spec.with_(n_workers=n_workers), trace)
+    return SweepPoint(
+        n_workers=n_workers,
+        baseline_median_utilization=baseline.median_utilization(),
+        short_p50_ratio=normalized_percentile(
+            candidate, baseline, JobClass.SHORT, 50
+        ),
+        short_p90_ratio=normalized_percentile(
+            candidate, baseline, JobClass.SHORT, 90
+        ),
+        long_p50_ratio=normalized_percentile(candidate, baseline, JobClass.LONG, 50),
+        long_p90_ratio=normalized_percentile(candidate, baseline, JobClass.LONG, 90),
+        candidate=candidate,
+        baseline=baseline,
+    )
+
+
+def sweep(
+    trace: Trace,
+    sizes,
+    candidate_spec: RunSpec,
+    baseline_spec: RunSpec,
+) -> list[SweepPoint]:
+    """Compare the two schedulers at every cluster size."""
+    return [
+        compare_at_size(trace, n, candidate_spec, baseline_spec) for n in sizes
+    ]
+
+
+def extra_metrics(point: SweepPoint, job_class: JobClass) -> tuple[float, float]:
+    """Figure 5c metrics: (fraction improved-or-equal, avg runtime ratio)."""
+    return (
+        fraction_improved(point.candidate, point.baseline, job_class),
+        average_runtime_ratio(point.candidate, point.baseline, job_class),
+    )

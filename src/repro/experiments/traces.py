@@ -1,0 +1,62 @@
+"""Canonical experiment traces (full and quick-scale variants).
+
+All figure drivers obtain their input workloads here so that runs are
+shared through the cache and every experiment agrees on the trace.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import (
+    CLOUDERA_C,
+    FACEBOOK_2010,
+    GOOGLE_CUTOFF_S,
+    YAHOO_2011,
+    GoogleTraceConfig,
+    google_like_trace,
+    kmeans_trace,
+)
+from repro.workloads.google import GOOGLE_SHORT_PARTITION_FRACTION
+from repro.workloads.kmeans import KMeansWorkloadSpec
+from repro.workloads.spec import Trace
+
+#: Jobs per generated trace at the two scales.  "full" is the default used
+#: by the benchmark harness; "quick" keeps unit/integration tests fast.
+_GOOGLE_JOBS = {"full": 1200, "quick": 260}
+_KMEANS_JOBS = {"full": 900, "quick": 240}
+
+_cache: dict[tuple, Trace] = {}
+
+
+def google_trace(scale: str = "full", seed: int = 0) -> Trace:
+    """The synthetic Google-like trace used throughout the evaluation."""
+    key = ("google", scale, seed)
+    if key not in _cache:
+        config = GoogleTraceConfig(n_jobs=_GOOGLE_JOBS[scale])
+        _cache[key] = google_like_trace(config, seed=seed)
+    return _cache[key]
+
+
+def kmeans_workload_trace(
+    spec: KMeansWorkloadSpec, scale: str = "full", seed: int = 0
+) -> Trace:
+    """A Cloudera/Facebook/Yahoo trace at the requested scale."""
+    key = (spec.name, scale, seed)
+    if key not in _cache:
+        _cache[key] = kmeans_trace(
+            spec,
+            n_jobs=_KMEANS_JOBS[scale],
+            mean_interarrival=20.0,
+            seed=seed,
+        )
+    return _cache[key]
+
+
+def google_cutoff() -> float:
+    return GOOGLE_CUTOFF_S
+
+
+def google_short_fraction() -> float:
+    return GOOGLE_SHORT_PARTITION_FRACTION
+
+
+ALL_WORKLOAD_SPECS = (CLOUDERA_C, FACEBOOK_2010, YAHOO_2011)

@@ -1,0 +1,19 @@
+"""Metrics: percentiles, normalized comparisons, utilization summaries."""
+
+from repro.metrics.comparison import (
+    Comparison,
+    average_runtime_ratio,
+    compare_runs,
+    fraction_improved,
+    normalized_percentile,
+)
+from repro.metrics.percentiles import percentile
+
+__all__ = [
+    "Comparison",
+    "average_runtime_ratio",
+    "compare_runs",
+    "fraction_improved",
+    "normalized_percentile",
+    "percentile",
+]

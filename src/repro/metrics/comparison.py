@@ -1,0 +1,93 @@
+"""Normalized comparisons between two runs (the paper's main metric).
+
+"When comparing Hawk to another approach X, we mostly take the ratio
+between the 50th (or 90th) percentile job runtime for Hawk and the 50th
+(or 90th) percentile job runtime for X" (Section 4.1).  Figure 5c adds the
+fraction of jobs Hawk improves (or matches) and the average job-runtime
+ratio.  Lower values favor the numerator system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.job import JobClass
+from repro.cluster.records import RunResult
+from repro.core.errors import ConfigurationError
+from repro.metrics.percentiles import percentile
+
+
+def normalized_percentile(
+    numerator: RunResult,
+    denominator: RunResult,
+    job_class: JobClass | None,
+    p: float,
+) -> float:
+    """p-th percentile runtime of ``numerator`` over that of ``denominator``."""
+    num = numerator.runtimes(job_class)
+    den = denominator.runtimes(job_class)
+    if not num or not den:
+        raise ConfigurationError(f"no jobs of class {job_class} in one of the runs")
+    return percentile(num, p) / percentile(den, p)
+
+
+def average_runtime_ratio(
+    numerator: RunResult, denominator: RunResult, job_class: JobClass | None
+) -> float:
+    """Ratio of mean job runtimes (Figure 5c's second metric)."""
+    num = numerator.runtimes(job_class)
+    den = denominator.runtimes(job_class)
+    if not num or not den:
+        raise ConfigurationError(f"no jobs of class {job_class} in one of the runs")
+    return (sum(num) / len(num)) / (sum(den) / len(den))
+
+
+def fraction_improved(
+    candidate: RunResult,
+    baseline: RunResult,
+    job_class: JobClass | None,
+    tolerance: float = 1e-9,
+) -> float:
+    """Fraction of jobs for which the candidate is better than or equal to
+    the baseline (Figure 5c's first metric).  Jobs are matched by id."""
+    base_by_id = {
+        r.job_id: r.runtime for r in baseline.records(job_class)
+    }
+    cand = candidate.records(job_class)
+    if not cand or not base_by_id:
+        raise ConfigurationError(f"no jobs of class {job_class} in one of the runs")
+    improved = 0
+    matched = 0
+    for record in cand:
+        base = base_by_id.get(record.job_id)
+        if base is None:
+            continue
+        matched += 1
+        if record.runtime <= base * (1.0 + tolerance):
+            improved += 1
+    if matched == 0:
+        raise ConfigurationError("runs share no job ids; cannot pair jobs")
+    return improved / matched
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """All paper metrics for one (candidate, baseline) pair and class."""
+
+    job_class: JobClass | None
+    p50_ratio: float
+    p90_ratio: float
+    avg_ratio: float
+    fraction_improved: float
+
+
+def compare_runs(
+    candidate: RunResult, baseline: RunResult, job_class: JobClass | None
+) -> Comparison:
+    return Comparison(
+        job_class=job_class,
+        p50_ratio=normalized_percentile(candidate, baseline, job_class, 50.0),
+        p90_ratio=normalized_percentile(candidate, baseline, job_class, 90.0),
+        avg_ratio=average_runtime_ratio(candidate, baseline, job_class),
+        fraction_improved=fraction_improved(candidate, baseline, job_class),
+    )

@@ -1,0 +1,74 @@
+"""The centralized coordinator (prototype side).
+
+Runs the Section 3.7 least-waiting-time algorithm behind a mutex, placing
+long-job tasks on general-partition node monitors and consuming task
+completion reports to keep per-node waiting times honest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.entries import ProtoJob, ProtoTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.node_monitor import NodeMonitor
+
+
+class Coordinator:
+    """Centralized least-waiting-time placement over the general partition."""
+
+    def __init__(
+        self, monitors: Sequence["NodeMonitor"], scope: Sequence[int]
+    ) -> None:
+        self._monitors = monitors
+        self._lock = threading.Lock()
+        self._pending = {monitor_id: 0.0 for monitor_id in scope}
+        self._version = {monitor_id: 0 for monitor_id in scope}
+        self._heap = [(0.0, 0, monitor_id) for monitor_id in scope]
+        heapq.heapify(self._heap)
+        self.jobs_submitted = 0
+        self.tasks_placed = 0
+
+    def submit(self, job: ProtoJob) -> None:
+        """Place every task on the node with the least estimated waiting."""
+        estimate = job.mean_duration
+        placements: list[tuple[int, ProtoTask]] = []
+        with self._lock:
+            for index, duration in enumerate(job.durations):
+                monitor_id = self._pop_least_loaded()
+                self._bump(monitor_id, estimate)
+                placements.append(
+                    (monitor_id, ProtoTask(job, index, duration, job.is_long))
+                )
+                self.tasks_placed += 1
+            self.jobs_submitted += 1
+        for monitor_id, task in placements:
+            self._monitors[monitor_id].deliver(task)
+
+    def report_finished(self, monitor_id: int, job: ProtoJob) -> None:
+        """Node status report: one of the job's tasks finished there."""
+        with self._lock:
+            if monitor_id in self._pending:
+                self._bump(monitor_id, -job.mean_duration)
+
+    def waiting_time(self, monitor_id: int) -> float:
+        with self._lock:
+            return self._pending[monitor_id]
+
+    # -- internal (lock held) -------------------------------------------
+    def _bump(self, monitor_id: int, delta: float) -> None:
+        pending = max(0.0, self._pending[monitor_id] + delta)
+        self._pending[monitor_id] = pending
+        version = self._version[monitor_id] + 1
+        self._version[monitor_id] = version
+        heapq.heappush(self._heap, (pending, version, monitor_id))
+
+    def _pop_least_loaded(self) -> int:
+        while True:
+            pending, version, monitor_id = self._heap[0]
+            if version == self._version[monitor_id]:
+                return monitor_id
+            heapq.heappop(self._heap)

@@ -1,0 +1,218 @@
+"""Prototype cluster assembly and trace execution.
+
+Mirrors the paper's 100-node deployment: N node-monitor threads, K
+distributed scheduler frontends, one centralized coordinator, and a
+submission loop replaying a (time-scaled) trace in real time.  Results
+come back as the same :class:`repro.cluster.records.RunResult` the
+simulator produces, so every metric and comparison works unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.cluster.job import JobClass
+from repro.cluster.records import JobRecord, RunResult, StealingStats
+from repro.core.errors import ConfigurationError
+from repro.runtime.coordinator import Coordinator
+from repro.runtime.entries import ProtoJob, ProtoTask
+from repro.runtime.frontend import DistributedFrontend
+from repro.runtime.node_monitor import NodeMonitor
+from repro.workloads.spec import Trace
+
+#: Schedulers the prototype supports.
+PROTOTYPE_SCHEDULERS = ("hawk", "sparrow", "split")
+
+
+@dataclass(frozen=True, slots=True)
+class PrototypeConfig:
+    """Deployment shape (defaults mirror the paper's prototype run)."""
+
+    scheduler: str = "hawk"
+    n_monitors: int = 100
+    n_frontends: int = 10
+    short_partition_fraction: float = 0.17
+    cutoff: float = 1.129  # seconds; the Google cutoff after /1000 scaling
+    probe_ratio: int = 2
+    latency: float = 0.0005
+    steal_cap: int = 10
+    steal_retry: float = 0.005
+    seed: int = 0
+    #: Hard wall-clock limit; a run exceeding it raises.
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in PROTOTYPE_SCHEDULERS:
+            raise ConfigurationError(
+                f"prototype scheduler must be one of {PROTOTYPE_SCHEDULERS}"
+            )
+        if self.n_monitors < 2:
+            raise ConfigurationError("need at least 2 node monitors")
+        if self.n_frontends < 1:
+            raise ConfigurationError("need at least 1 frontend")
+
+
+class PrototypeCluster:
+    """Build the threads, replay a trace, return a :class:`RunResult`."""
+
+    def __init__(self, config: PrototypeConfig) -> None:
+        self.config = config
+        n_short = int(round(config.n_monitors * config.short_partition_fraction))
+        if config.scheduler == "sparrow":
+            n_short = 0
+        self.n_general = config.n_monitors - n_short
+        self._lock = threading.Lock()
+        self._remaining: dict[int, int] = {}
+        self._completion: dict[int, float] = {}
+        self._stolen: dict[int, int] = {}
+        self._all_done = threading.Event()
+        self._t0 = 0.0
+
+        self.monitors = [
+            NodeMonitor(
+                monitor_id=i,
+                in_short_partition=(i >= self.n_general),
+                latency=config.latency,
+                steal_cap=config.steal_cap,
+                steal_retry=config.steal_retry,
+                seed=config.seed,
+                on_task_done=self._on_task_done,
+            )
+            for i in range(config.n_monitors)
+        ]
+        # Stealing only exists in Hawk (the paper's Sparrow and split
+        # baselines have no stealing): zero general count disables it.
+        steal_scope = self.n_general if config.scheduler == "hawk" else 0
+        for monitor in self.monitors:
+            monitor.attach_cluster(self.monitors, steal_scope)
+        self.frontends = [
+            DistributedFrontend(
+                frontend_id=i,
+                monitors=self.monitors,
+                probe_ratio=config.probe_ratio,
+                seed=config.seed,
+            )
+            for i in range(config.n_frontends)
+        ]
+        if config.scheduler == "sparrow":
+            self.coordinator = None
+        else:
+            self.coordinator = Coordinator(
+                self.monitors, scope=range(self.n_general)
+            )
+            for monitor in self.monitors:
+                monitor.coordinator = self.coordinator
+
+    # ------------------------------------------------------------------
+    def _on_task_done(self, monitor_id: int, task: ProtoTask) -> None:
+        job_id = task.job.job_id
+        now = time.monotonic() - self._t0
+        with self._lock:
+            if task.stolen:
+                self._stolen[job_id] = self._stolen.get(job_id, 0) + 1
+            self._remaining[job_id] -= 1
+            if self._remaining[job_id] == 0:
+                self._completion[job_id] = now
+                if all(r == 0 for r in self._remaining.values()):
+                    self._all_done.set()
+
+    def _route(self, job: ProtoJob, frontend_index: int) -> None:
+        cfg = self.config
+        if cfg.scheduler == "sparrow" or not job.is_long:
+            scope = None
+            if cfg.scheduler == "split":
+                scope = range(self.n_general, cfg.n_monitors)
+            self.frontends[frontend_index % cfg.n_frontends].submit(job, scope)
+        else:
+            assert self.coordinator is not None
+            self.coordinator.submit(job)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, trace: Trace, long_job_ids: frozenset[int] | None = None
+    ) -> RunResult:
+        """Replay the trace in real time; blocks until all jobs finish.
+
+        ``long_job_ids`` overrides cutoff-based classification (used with
+        :func:`repro.workloads.scale_trace_for_prototype`, whose task-count
+        compensation perturbs per-job means).
+        """
+        cfg = self.config
+        jobs = [
+            ProtoJob(
+                job_id=spec.job_id,
+                submit_time=spec.submit_time,
+                durations=spec.task_durations,
+                is_long=(
+                    spec.job_id in long_job_ids
+                    if long_job_ids is not None
+                    else spec.mean_task_duration >= cfg.cutoff
+                ),
+                mean_duration=spec.mean_task_duration,
+            )
+            for spec in trace
+        ]
+        with self._lock:
+            for job in jobs:
+                self._remaining[job.job_id] = len(job.durations)
+        submit_actual: dict[int, float] = {}
+
+        for monitor in self.monitors:
+            monitor.start()
+        self._t0 = time.monotonic()
+        short_counter = 0
+        for job in jobs:
+            delay = job.submit_time - (time.monotonic() - self._t0)
+            if delay > 0:
+                time.sleep(delay)
+            submit_actual[job.job_id] = time.monotonic() - self._t0
+            self._route(job, short_counter)
+            if not job.is_long:
+                short_counter += 1
+
+        if not self._all_done.wait(timeout=cfg.timeout):
+            for monitor in self.monitors:
+                monitor.shutdown()
+            raise TimeoutError(
+                f"prototype run exceeded {cfg.timeout}s wall-clock budget"
+            )
+        for monitor in self.monitors:
+            monitor.shutdown()
+        for monitor in self.monitors:
+            monitor.join(timeout=5.0)
+
+        records = []
+        for job in jobs:
+            job_class = JobClass.LONG if job.is_long else JobClass.SHORT
+            records.append(
+                JobRecord(
+                    job_id=job.job_id,
+                    submit_time=submit_actual[job.job_id],
+                    completion_time=self._completion[job.job_id],
+                    num_tasks=len(job.durations),
+                    true_mean_task_duration=job.mean_duration,
+                    estimated_task_duration=job.mean_duration,
+                    task_seconds=sum(job.durations),
+                    scheduled_class=job_class,
+                    true_class=job_class,
+                    stolen_tasks=self._stolen.get(job.job_id, 0),
+                )
+            )
+        rounds = sum(m.steal_rounds for m in self.monitors)
+        stolen = sum(m.items_stolen for m in self.monitors)
+        return RunResult(
+            scheduler_name=f"prototype-{cfg.scheduler}",
+            n_workers=cfg.n_monitors,
+            jobs=tuple(records),
+            utilization=(),
+            stealing=StealingStats(
+                rounds=rounds,
+                successful_rounds=0,
+                victims_probed=0,
+                entries_stolen=stolen,
+            ),
+            events_fired=0,
+            end_time=time.monotonic() - self._t0,
+        )

@@ -1,0 +1,47 @@
+"""Queue items exchanged between prototype components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.frontend import DistributedFrontend
+
+
+@dataclass(slots=True)
+class ProtoJob:
+    """A job as the prototype sees it: id, class flag and task durations."""
+
+    job_id: int
+    submit_time: float  # trace-relative, seconds
+    durations: tuple[float, ...]
+    is_long: bool
+    mean_duration: float
+
+
+@dataclass(slots=True)
+class ProtoTask:
+    """A concrete task placed by the coordinator (or bound via a probe)."""
+
+    job: ProtoJob
+    index: int
+    duration: float
+    is_long: bool
+    stolen: bool = False
+
+
+@dataclass(slots=True)
+class ProtoProbe:
+    """A late-binding reservation pointing back at its job's frontend."""
+
+    job: ProtoJob
+    frontend: "DistributedFrontend"
+    stolen: bool = False
+
+    @property
+    def is_long(self) -> bool:
+        return self.job.is_long
+
+
+QueueItem = ProtoTask | ProtoProbe

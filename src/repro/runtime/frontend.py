@@ -1,0 +1,73 @@
+"""Distributed scheduler frontends (prototype side).
+
+Each frontend plays the role of one of the paper's 10 distributed
+schedulers: it receives job submissions, fans out probes to random node
+monitors, and answers task requests with late binding.  All state is
+guarded by a lock because node monitors call in concurrently.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.entries import ProtoJob, ProtoProbe, ProtoTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.node_monitor import NodeMonitor
+
+
+class DistributedFrontend:
+    """One distributed scheduler: batch probing plus late binding."""
+
+    def __init__(
+        self,
+        frontend_id: int,
+        monitors: Sequence["NodeMonitor"],
+        probe_ratio: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.frontend_id = frontend_id
+        self._monitors = monitors
+        self._probe_ratio = probe_ratio
+        self._rng = random.Random((seed << 8) ^ frontend_id)
+        self._lock = threading.Lock()
+        self._pending: dict[int, list[ProtoTask]] = {}
+        self.jobs_submitted = 0
+        self.cancels_sent = 0
+
+    def submit(self, job: ProtoJob, scope: Sequence[int] | None = None) -> None:
+        """Fan ``probe_ratio * t`` probes out to random monitors.
+
+        ``scope`` restricts target monitor indices (e.g. Hawk's general
+        partition for the no-centralized ablation, or the split cluster's
+        short partition); ``None`` means the whole cluster.
+        """
+        tasks = [
+            ProtoTask(job, i, d, job.is_long) for i, d in enumerate(job.durations)
+        ]
+        with self._lock:
+            self._pending[job.job_id] = tasks[::-1]  # pop() takes index order
+            self.jobs_submitted += 1
+        ids = list(scope) if scope is not None else list(range(len(self._monitors)))
+        n_probes = self._probe_ratio * len(tasks)
+        targets: list[int] = []
+        while len(targets) < n_probes:
+            chunk = ids[:]
+            self._rng.shuffle(chunk)
+            targets.extend(chunk)
+        probe_template = ProtoProbe(job, self)
+        for monitor_id in targets[:n_probes]:
+            self._monitors[monitor_id].deliver(
+                ProtoProbe(probe_template.job, self)
+            )
+
+    def request_task(self, job: ProtoJob) -> ProtoTask | None:
+        """Late binding: next unassigned task of the job, or cancel."""
+        with self._lock:
+            tasks = self._pending.get(job.job_id)
+            if not tasks:
+                self.cancels_sent += 1
+                return None
+            return tasks.pop()

@@ -1,0 +1,167 @@
+"""Node monitors: worker threads executing sleep tasks.
+
+Each monitor owns a FIFO queue of probes and tasks (Section 3.1's
+single-slot server).  Probes trigger real request/response exchanges with
+their frontend; idle monitors steal from randomly chosen general-partition
+victims exactly as the simulator does (Figure 3 via the shared
+:func:`repro.cluster.worker.find_first_short_group`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.cluster.worker import find_first_short_group
+from repro.runtime.entries import ProtoProbe, ProtoTask, QueueItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.coordinator import Coordinator
+
+
+class NodeMonitor(threading.Thread):
+    """A single-slot worker node with one FIFO queue."""
+
+    def __init__(
+        self,
+        monitor_id: int,
+        in_short_partition: bool,
+        latency: float,
+        steal_cap: int,
+        steal_retry: float,
+        seed: int,
+        on_task_done: Callable[[int, ProtoTask], None],
+    ) -> None:
+        super().__init__(name=f"node-monitor-{monitor_id}", daemon=True)
+        self.monitor_id = monitor_id
+        self.in_short_partition = in_short_partition
+        self._latency = latency
+        self._steal_cap = steal_cap
+        self._steal_retry = steal_retry
+        self._rng = random.Random((seed << 16) ^ monitor_id)
+        self._on_task_done = on_task_done
+        self._queue: deque[QueueItem] = deque()
+        self._cv = threading.Condition()
+        self._current_is_long = False
+        self._has_current = False
+        self._stop_event = threading.Event()
+        self._peers: Sequence["NodeMonitor"] = ()
+        self._general_count = 0
+        self.coordinator: "Coordinator | None" = None
+        # Statistics.
+        self.tasks_executed = 0
+        self.items_stolen = 0
+        self.steal_rounds = 0
+
+    # ------------------------------------------------------------------
+    def attach_cluster(
+        self, peers: Sequence["NodeMonitor"], general_count: int
+    ) -> None:
+        self._peers = peers
+        self._general_count = general_count
+
+    def deliver(self, item: QueueItem) -> None:
+        """RPC target: enqueue a probe or task (caller pays the latency)."""
+        with self._cv:
+            self._queue.append(item)
+            self._cv.notify()
+
+    def release_stealable(self) -> list[QueueItem]:
+        """RPC target: hand out the first short group behind a long entry."""
+        with self._cv:
+            if not self._queue:
+                return []
+            span = find_first_short_group(
+                self._has_current and self._current_is_long,
+                (item.is_long for item in self._queue),
+            )
+            if span is None:
+                return []
+            items = list(self._queue)
+            stolen = items[span[0] : span[1]]
+            self._queue = deque(items[: span[0]] + items[span[1] :])
+            for item in stolen:
+                item.stolen = True
+            return stolen
+
+    def shutdown(self) -> None:
+        self._stop_event.set()
+        with self._cv:
+            self._cv.notify()
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:  # pragma: no cover - exercised via engine tests
+        while not self._stop_event.is_set():
+            item = self._pop_or_wait()
+            if item is None:
+                if not self._stop_event.is_set():
+                    self._attempt_steal()
+                continue
+            try:
+                self._process(item)
+            finally:
+                with self._cv:
+                    self._has_current = False
+
+    def _pop_or_wait(self) -> QueueItem | None:
+        with self._cv:
+            if not self._queue:
+                self._cv.wait(timeout=self._steal_retry)
+            if not self._queue:
+                return None
+            item = self._queue.popleft()
+            self._has_current = True
+            self._current_is_long = item.is_long
+            return item
+
+    def _process(self, item: QueueItem) -> None:
+        if isinstance(item, ProtoProbe):
+            self._net_delay()  # task request travels to the frontend
+            task = item.frontend.request_task(item.job)
+            self._net_delay()  # response (task or cancel) travels back
+            if task is None:
+                return
+            if item.stolen:
+                task.stolen = True
+            with self._cv:
+                self._current_is_long = task.is_long
+            self._execute(task)
+        else:
+            self._execute(item)
+
+    def _execute(self, task: ProtoTask) -> None:
+        time.sleep(task.duration)
+        self.tasks_executed += 1
+        if task.is_long and self.coordinator is not None:
+            self._net_delay()  # status report to the coordinator
+            self.coordinator.report_finished(self.monitor_id, task.job)
+        self._on_task_done(self.monitor_id, task)
+
+    def _attempt_steal(self) -> None:
+        """One randomized stealing round (Section 3.6)."""
+        n = self._general_count
+        if n == 0 or (n == 1 and not self.in_short_partition):
+            return
+        self.steal_rounds += 1
+        attempts = min(self._steal_cap, n - (0 if self.in_short_partition else 1))
+        seen: set[int] = set()
+        while len(seen) < attempts and not self._stop_event.is_set():
+            victim_id = self._rng.randrange(n)
+            if victim_id == self.monitor_id or victim_id in seen:
+                continue
+            seen.add(victim_id)
+            self._net_delay()  # steal request is a real message here
+            stolen = self._peers[victim_id].release_stealable()
+            if stolen:
+                self.items_stolen += len(stolen)
+                with self._cv:
+                    self._queue.extendleft(reversed(stolen))
+                    self._cv.notify()
+                return
+
+    def _net_delay(self) -> None:
+        if self._latency > 0:
+            time.sleep(self._latency)

@@ -1,0 +1,22 @@
+"""Scheduler policies: Hawk and every baseline the paper compares against."""
+
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.centralized import CentralizedScheduler
+from repro.schedulers.estimator import ExactEstimation, UniformMisestimation
+from repro.schedulers.frontend import ProbeFrontend
+from repro.schedulers.hawk import HawkScheduler
+from repro.schedulers.sparrow import SparrowScheduler
+from repro.schedulers.split import SplitScheduler
+from repro.schedulers.stealing import WorkStealing
+
+__all__ = [
+    "CentralizedScheduler",
+    "ExactEstimation",
+    "HawkScheduler",
+    "ProbeFrontend",
+    "SchedulerPolicy",
+    "SparrowScheduler",
+    "SplitScheduler",
+    "UniformMisestimation",
+    "WorkStealing",
+]

@@ -1,0 +1,47 @@
+"""Common interface for scheduler policies."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.engine import ClusterEngine
+    from repro.cluster.job import Job
+    from repro.cluster.task import Task
+
+
+class SchedulerPolicy(abc.ABC):
+    """Decides where probes and tasks are placed.
+
+    A policy is bound to exactly one engine for exactly one run; the engine
+    calls :meth:`on_job_submit` at each job's submission time.
+    """
+
+    #: Human-readable policy name, used in results and reports.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.engine: "ClusterEngine | None" = None
+
+    def bind(self, engine: "ClusterEngine") -> None:
+        if self.engine is not None:
+            raise RuntimeError(f"policy {self.name} bound twice")
+        self.engine = engine
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook for policies that need cluster-dependent setup."""
+
+    @abc.abstractmethod
+    def on_job_submit(self, job: "Job") -> None:
+        """Place the job's probes/tasks via the engine's placement API."""
+
+    def on_task_finish(self, task: "Task") -> None:
+        """Status update: a task completed somewhere in the cluster.
+
+        Centralized components use this to keep their per-server waiting
+        times in sync with reality (the paper's node status reports);
+        distributed components ignore it by design — they "have no
+        knowledge of the current cluster state" (Section 3.5).
+        """

@@ -1,0 +1,40 @@
+"""Late-binding job frontend shared by all distributed policies.
+
+In Sparrow's "batch probing" (Section 2.3/3.5), a scheduler sends 2t probes
+for a job with t tasks and hands tasks out on demand: when a probe reaches
+the head of a worker's queue the worker requests a task, and the frontend
+replies with the next unassigned task — or a cancel once all t tasks are
+gone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.job import Job
+    from repro.cluster.task import Task
+
+
+class ProbeFrontend:
+    """Per-job late-binding state: which tasks are still unassigned."""
+
+    __slots__ = ("job", "_next", "cancels_sent")
+
+    def __init__(self, job: "Job") -> None:
+        self.job = job
+        self._next = 0
+        self.cancels_sent = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.job.num_tasks - self._next
+
+    def next_task(self) -> "Task | None":
+        """Hand out the next unassigned task, or None (cancel)."""
+        if self._next >= self.job.num_tasks:
+            self.cancels_sent += 1
+            return None
+        task = self.job.tasks[self._next]
+        self._next += 1
+        return task

@@ -1,0 +1,83 @@
+"""Hawk: the hybrid scheduler (Section 3).
+
+* Long jobs (estimate >= cutoff) go to a centralized least-waiting-time
+  scheduler restricted to the *general* partition.
+* Short jobs are probed Sparrow-style over the *entire* cluster.
+* Work stealing is a separate runtime mechanism configured on the engine
+  (:class:`repro.schedulers.stealing.WorkStealing`); it is not part of this
+  policy object.
+
+The ``centralize_long`` flag supports the Figure 7 ablation "Hawk without
+centralized": long jobs are then batch-probed over the general partition
+instead of centrally placed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.cluster import Partition
+from repro.cluster.job import JobClass
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.centralized import CentralizedScheduler
+from repro.schedulers.sparrow import SparrowScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.job import Job
+
+
+class HawkScheduler(SchedulerPolicy):
+    """Hybrid centralized/distributed scheduling."""
+
+    name = "hawk"
+
+    def __init__(
+        self,
+        probe_ratio: int = 2,
+        centralize_long: bool = True,
+    ) -> None:
+        super().__init__()
+        self.centralize_long = centralize_long
+        self._short = SparrowScheduler(
+            probe_ratio=probe_ratio,
+            partition=Partition.ALL,
+            rng_stream="hawk-short",
+        )
+        if centralize_long:
+            self._long: SchedulerPolicy = CentralizedScheduler(
+                partition=Partition.GENERAL
+            )
+        else:
+            self._long = SparrowScheduler(
+                probe_ratio=probe_ratio,
+                partition=Partition.GENERAL,
+                rng_stream="hawk-long",
+            )
+        self.short_jobs = 0
+        self.long_jobs = 0
+
+    def on_bind(self) -> None:
+        assert self.engine is not None
+        self._short.bind(self.engine)
+        self._long.bind(self.engine)
+
+    def on_job_submit(self, job: "Job") -> None:
+        if job.scheduled_class is JobClass.LONG:
+            self.long_jobs += 1
+            self._long.on_job_submit(job)
+        else:
+            self.short_jobs += 1
+            self._short.on_job_submit(job)
+
+    def on_task_finish(self, task) -> None:
+        # Status updates feed the centralized component's waiting times;
+        # it ignores tasks it did not place (all short tasks).
+        self._long.on_task_finish(task)
+
+    @property
+    def long_component(self) -> SchedulerPolicy:
+        return self._long
+
+    @property
+    def short_component(self) -> SparrowScheduler:
+        return self._short

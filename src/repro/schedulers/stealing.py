@@ -1,0 +1,181 @@
+"""Randomized work stealing (Section 3.6).
+
+Whenever a server runs out of work it contacts up to ``cap`` (default 10)
+randomly chosen servers and steals the first consecutive group of short
+entries queued behind a long entry from the first victim that has one.
+Both general- and short-partition servers steal, but only servers in the
+*general* partition can be victims — that is where long tasks cause
+head-of-line blocking.
+
+The paper's simulator assigns zero cost to stealing (Section 4.1).  With
+zero-cost rounds, a purely transition-triggered policy would let a server
+that went idle *before* blocked work appeared stay idle forever, so the
+policy retries with exponential backoff while a server remains idle.  The
+backoff bounds the event overhead of retries in lightly loaded clusters
+(where stealing is irrelevant) while preserving the paper's randomized
+pull semantics, including the cap sensitivity of Figure 15.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.cluster.records import StealingStats
+from repro.cluster.worker import Worker
+from repro.core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.engine import ClusterEngine
+
+
+class WorkStealing:
+    """Randomized stealing with idle-retry backoff.
+
+    Parameters
+    ----------
+    cap:
+        Maximum number of random servers contacted per stealing round
+        (the x-axis of Figure 15; default 10 per Section 4.1).
+    retry_initial / retry_max:
+        Backoff window for re-attempting while idle, in simulated seconds.
+    """
+
+    #: Upper bound on parked workers woken per work-appearance event; the
+    #: first wake that succeeds flips the hint tally back to zero and the
+    #: rest fail in O(1), so a small constant keeps fidelity and bounds cost.
+    WAKE_LIMIT = 64
+
+    def __init__(
+        self,
+        cap: int = 10,
+        retry_initial: float = 1.0,
+        retry_max: float = 64.0,
+    ) -> None:
+        if cap < 1:
+            raise ConfigurationError(f"steal cap must be >= 1, got {cap}")
+        if retry_initial <= 0 or retry_max < retry_initial:
+            raise ConfigurationError(
+                f"invalid retry window [{retry_initial}, {retry_max}]"
+            )
+        self.cap = cap
+        self.retry_initial = retry_initial
+        self.retry_max = retry_max
+        self.engine: "ClusterEngine | None" = None
+        self._rng: random.Random | None = None
+        # Insertion-ordered so wake order is deterministic across
+        # processes (a set would pop in address order).
+        self._parked: dict[Worker, None] = {}
+        self._rounds = 0
+        self._successes = 0
+        self._victims_probed = 0
+        self._entries_stolen = 0
+
+    def bind(self, engine: "ClusterEngine") -> None:
+        if self.engine is not None:
+            raise RuntimeError("stealing policy bound twice")
+        self.engine = engine
+        # stdlib RNG: this is the hottest random stream in a run and
+        # numpy's per-call scalar overhead dominates otherwise.
+        self._rng = random.Random(engine.config.seed ^ 0x5EA15EA1)
+
+    # ------------------------------------------------------------------
+    def on_worker_idle(self, worker: Worker) -> None:
+        """One stealing round; schedules a backoff retry on failure."""
+        assert self.engine is not None and self._rng is not None
+        self._parked.pop(worker, None)
+        if worker.pending_steal_retry is not None:
+            worker.pending_steal_retry.cancel()
+            worker.pending_steal_retry = None
+        if self._attempt_round(worker):
+            worker.steal_backoff = 0.0
+            return
+        self._schedule_retry(worker)
+
+    def _attempt_round(self, thief: Worker) -> bool:
+        assert self.engine is not None and self._rng is not None
+        cluster = self.engine.cluster
+        # Fast fail: stealing needs a possibly-eligible general queue.
+        if cluster.steal_hint_count == 0:
+            return False
+        n = cluster.n_general
+        if n == 0 or (n == 1 and not thief.in_short_partition):
+            return False
+        self._rounds += 1
+        attempts = min(self.cap, n - (0 if thief.in_short_partition else 1))
+        probed = 0
+        seen: set[int] = set()
+        rng = self._rng
+        workers = cluster.workers
+        thief_id = thief.worker_id
+        while probed < attempts:
+            victim_id = rng.randrange(n)
+            if victim_id == thief_id or victim_id in seen:
+                continue
+            seen.add(victim_id)
+            probed += 1
+            self._victims_probed += 1
+            span = workers[victim_id].eligible_steal_range()
+            if span is None:
+                continue
+            stolen = self.engine.transfer_stolen_entries(
+                workers[victim_id], thief, span[0], span[1]
+            )
+            self._successes += 1
+            self._entries_stolen += stolen
+            return True
+        return False
+
+    def _schedule_retry(self, worker: Worker) -> None:
+        """Back off and retry while idle; park when no steal can succeed."""
+        assert self.engine is not None
+        if self.engine.all_jobs_done:
+            return
+        if self.engine.cluster.steal_hint_count == 0:
+            # Nothing in the whole cluster is stealable: sleep until the
+            # engine reports eligible work instead of polling.
+            self._parked[worker] = None
+            return
+        if worker.steal_backoff == 0.0:
+            worker.steal_backoff = self.retry_initial
+        else:
+            worker.steal_backoff = min(worker.steal_backoff * 2.0, self.retry_max)
+        worker.pending_steal_retry = self.engine.sim.schedule(
+            worker.steal_backoff, self._retry_fires, worker
+        )
+
+    def _retry_fires(self, worker: Worker) -> None:
+        worker.pending_steal_retry = None
+        assert self.engine is not None
+        if self.engine.all_jobs_done:
+            return
+        if not worker.is_idle or worker.queue:
+            return
+        if self._attempt_round(worker):
+            worker.steal_backoff = 0.0
+            return
+        self._schedule_retry(worker)
+
+    def on_steal_work_appeared(self) -> None:
+        """Engine callback: the cluster steal-hint tally went 0 -> 1.
+
+        Wake up to :data:`WAKE_LIMIT` parked workers.  Wakes are scheduled
+        (not run inline) so the engine finishes its current transition
+        before thieves inspect queues.
+        """
+        assert self.engine is not None
+        if not self._parked or self.engine.all_jobs_done:
+            return
+        for _ in range(min(self.WAKE_LIMIT, len(self._parked))):
+            worker, _ = self._parked.popitem()
+            worker.pending_steal_retry = self.engine.sim.schedule(
+                0.0, self._retry_fires, worker
+            )
+
+    def stats(self) -> StealingStats:
+        return StealingStats(
+            rounds=self._rounds,
+            successful_rounds=self._successes,
+            victims_probed=self._victims_probed,
+            entries_stolen=self._entries_stolen,
+        )

@@ -1,0 +1,48 @@
+"""Workload generators, trace analysis and trace I/O."""
+
+from repro.workloads.analysis import (
+    cdf_points,
+    long_job_fraction,
+    mean_duration_ratio,
+    task_seconds_share,
+    tasks_share,
+    workload_summary,
+)
+from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.google import GOOGLE_CUTOFF_S, GoogleTraceConfig, google_like_trace
+from repro.workloads.kmeans import (
+    CLOUDERA_C,
+    FACEBOOK_2010,
+    YAHOO_2011,
+    KMeansWorkloadSpec,
+    kmeans_trace,
+)
+from repro.workloads.motivation import MotivationConfig, motivation_trace
+from repro.workloads.scaling import scale_trace_for_prototype
+from repro.workloads.spec import JobSpec, Trace
+from repro.workloads.trace_io import read_trace, write_trace
+
+__all__ = [
+    "CLOUDERA_C",
+    "FACEBOOK_2010",
+    "GOOGLE_CUTOFF_S",
+    "GoogleTraceConfig",
+    "JobSpec",
+    "KMeansWorkloadSpec",
+    "MotivationConfig",
+    "Trace",
+    "YAHOO_2011",
+    "cdf_points",
+    "google_like_trace",
+    "kmeans_trace",
+    "long_job_fraction",
+    "mean_duration_ratio",
+    "motivation_trace",
+    "poisson_arrival_times",
+    "read_trace",
+    "scale_trace_for_prototype",
+    "task_seconds_share",
+    "tasks_share",
+    "workload_summary",
+    "write_trace",
+]

@@ -1,0 +1,74 @@
+"""Tests for cluster construction and partitioning."""
+
+import pytest
+
+from repro.cluster import Cluster, Partition
+from repro.core import ConfigurationError
+
+
+def test_partition_sizes_google_fraction():
+    cluster = Cluster(100, short_partition_fraction=0.17)
+    assert cluster.n_short == 17
+    assert cluster.n_general == 83
+
+
+def test_no_partition_by_default():
+    cluster = Cluster(10)
+    assert cluster.n_short == 0
+    assert cluster.n_general == 10
+
+
+def test_partition_id_ranges_are_disjoint_and_cover():
+    cluster = Cluster(20, short_partition_fraction=0.25)
+    general = set(cluster.ids(Partition.GENERAL))
+    short = set(cluster.ids(Partition.SHORT_RESERVED))
+    assert general | short == set(cluster.ids(Partition.ALL))
+    assert not (general & short)
+    assert len(short) == 5
+
+
+def test_worker_partition_flags_match_ranges():
+    cluster = Cluster(10, short_partition_fraction=0.3)
+    for wid in cluster.ids(Partition.GENERAL):
+        assert not cluster.worker(wid).in_short_partition
+    for wid in cluster.ids(Partition.SHORT_RESERVED):
+        assert cluster.worker(wid).in_short_partition
+
+
+def test_tiny_fraction_rounds_up_to_one_node():
+    cluster = Cluster(10, short_partition_fraction=0.01)
+    assert cluster.n_short == 1
+
+
+def test_zero_workers_rejected():
+    with pytest.raises(ConfigurationError):
+        Cluster(0)
+
+
+def test_fraction_one_rejected():
+    with pytest.raises(ConfigurationError):
+        Cluster(10, short_partition_fraction=1.0)
+
+
+def test_fraction_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        Cluster(10, short_partition_fraction=-0.1)
+
+
+def test_short_partition_cannot_cover_cluster():
+    with pytest.raises(ConfigurationError):
+        Cluster(1, short_partition_fraction=0.9)
+
+
+def test_worker_ids_are_indices():
+    cluster = Cluster(5)
+    for i in range(5):
+        assert cluster.worker(i).worker_id == i
+
+
+def test_busy_count_initially_zero():
+    assert Cluster(5).busy_count() == 0
+
+
+def test_steal_hint_count_initially_zero():
+    assert Cluster(5).steal_hint_count == 0

@@ -1,0 +1,100 @@
+"""Tests for result records: JobRecord, UtilizationSample, StealingStats,
+RunResult helpers."""
+
+import pytest
+
+from repro.cluster.job import JobClass
+from repro.cluster.records import (
+    JobRecord,
+    RunResult,
+    StealingStats,
+    UtilizationSample,
+)
+
+
+def record(job_id, runtime, cls=JobClass.SHORT, stolen=0):
+    return JobRecord(
+        job_id=job_id,
+        submit_time=100.0,
+        completion_time=100.0 + runtime,
+        num_tasks=2,
+        true_mean_task_duration=runtime / 2,
+        estimated_task_duration=runtime / 2,
+        task_seconds=runtime,
+        scheduled_class=cls,
+        true_class=cls,
+        stolen_tasks=stolen,
+    )
+
+
+def result(records, utilization=()):
+    return RunResult(
+        scheduler_name="x",
+        n_workers=4,
+        jobs=tuple(records),
+        utilization=tuple(utilization),
+    )
+
+
+def test_job_record_runtime():
+    assert record(0, 42.0).runtime == pytest.approx(42.0)
+
+
+def test_job_record_immutable():
+    r = record(0, 1.0)
+    with pytest.raises(AttributeError):
+        r.job_id = 5
+
+
+def test_utilization_sample_ratio():
+    s = UtilizationSample(time=100.0, busy_workers=3, total_workers=4)
+    assert s.utilization == 0.75
+
+
+def test_stealing_stats_success_rate():
+    stats = StealingStats(rounds=10, successful_rounds=4)
+    assert stats.success_rate == 0.4
+
+
+def test_stealing_stats_zero_rounds():
+    assert StealingStats().success_rate == 0.0
+
+
+def test_runtimes_no_filter_returns_all():
+    res = result([record(0, 1.0), record(1, 2.0, JobClass.LONG)])
+    assert sorted(res.runtimes()) == [1.0, 2.0]
+
+
+def test_runtimes_filters_true_class():
+    res = result([record(0, 1.0), record(1, 2.0, JobClass.LONG)])
+    assert res.runtimes(JobClass.LONG) == [2.0]
+    assert res.runtimes(JobClass.SHORT) == [1.0]
+
+
+def test_records_filter():
+    res = result([record(0, 1.0), record(1, 2.0, JobClass.LONG)])
+    assert [r.job_id for r in res.records(JobClass.LONG)] == [1]
+
+
+def test_median_utilization_odd_and_even():
+    def s(u):
+        return UtilizationSample(0.0, int(u * 100), 100)
+
+    odd = result([record(0, 1.0)], [s(0.1), s(0.5), s(0.9)])
+    assert odd.median_utilization() == pytest.approx(0.5)
+    even = result([record(0, 1.0)], [s(0.2), s(0.4), s(0.6), s(0.8)])
+    assert even.median_utilization() == pytest.approx(0.5)
+
+
+def test_max_utilization():
+    def s(u):
+        return UtilizationSample(0.0, int(u * 100), 100)
+
+    res = result([record(0, 1.0)], [s(0.1), s(0.97)])
+    assert res.max_utilization() == pytest.approx(0.97)
+
+
+def test_default_stealing_stats_are_zero():
+    res = result([record(0, 1.0)])
+    assert res.stealing.entries_stolen == 0
+    assert res.stealing.rounds == 0

@@ -1,0 +1,194 @@
+"""Tests for worker queues and the Figure 3 stealing-eligibility scan."""
+
+import pytest
+
+from repro.cluster.job import Job, JobClass
+from repro.cluster.worker import (
+    ProbeEntry,
+    TaskEntry,
+    Worker,
+    WorkerState,
+    find_first_short_group,
+)
+from repro.core.errors import SimulationError
+from repro.schedulers.frontend import ProbeFrontend
+
+
+def short_entry():
+    job = Job(1, 0.0, (10.0,), 10.0, cutoff=100.0)
+    return ProbeEntry(job, ProbeFrontend(job))
+
+
+def long_entry():
+    job = Job(2, 0.0, (1000.0,), 1000.0, cutoff=100.0)
+    return TaskEntry(job.tasks[0])
+
+
+def worker_with(entries, current=None):
+    w = Worker(0, in_short_partition=False)
+    for e in entries:
+        w.enqueue(e)
+    if current is not None:
+        w.current_entry = current
+        w.state = WorkerState.BUSY
+    return w
+
+
+# -- basic queue mechanics ----------------------------------------------
+def test_new_worker_is_idle_and_empty():
+    w = Worker(0, False)
+    assert w.is_idle
+    assert w.queue_length == 0
+    assert w.current_class is None
+
+
+def test_enqueue_pop_fifo_order():
+    a, b = short_entry(), short_entry()
+    w = worker_with([a, b])
+    assert w.pop_next() is a
+    assert w.pop_next() is b
+
+
+def test_pop_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Worker(0, False).pop_next()
+
+
+def test_long_entries_counter_tracks_enqueue_and_pop():
+    w = worker_with([long_entry(), short_entry(), long_entry()])
+    assert w.long_entries == 2
+    w.pop_next()
+    assert w.long_entries == 1
+    w.pop_next()
+    assert w.long_entries == 1
+    w.pop_next()
+    assert w.long_entries == 0
+
+
+def test_enqueue_front_preserves_order_and_counts():
+    w = Worker(0, False)
+    tail = short_entry()
+    w.enqueue(tail)
+    stolen = [short_entry(), long_entry()]
+    w.enqueue_front(stolen)
+    assert list(w.queue) == stolen + [tail]
+    assert w.long_entries == 1
+
+
+def test_remove_range_returns_slice_in_order():
+    entries = [short_entry() for _ in range(5)]
+    w = worker_with(entries)
+    removed = w.remove_range(1, 3)
+    assert removed == entries[1:3]
+    assert list(w.queue) == [entries[0]] + entries[3:]
+
+
+def test_remove_range_invalid_bounds_raise():
+    w = worker_with([short_entry()])
+    with pytest.raises(SimulationError):
+        w.remove_range(0, 5)
+
+
+def test_entry_class_flags():
+    assert short_entry().is_short and not short_entry().is_long
+    assert long_entry().is_long and not long_entry().is_short
+
+
+# -- find_first_short_group (the pure Figure 3 rule) ---------------------
+@pytest.mark.parametrize(
+    "executing_long, flags, expected",
+    [
+        # b-cases: executing long, shorts at the head are eligible.
+        (True, [False, False, True, False], (0, 2)),
+        (True, [False], (0, 1)),
+        # a-cases: executing short, shorts after the first queued long.
+        (False, [False, True, False, False, True, False], (2, 4)),
+        (False, [False, False], None),  # no long anywhere
+        (True, [], None),  # empty queue
+        (False, [True, False], (1, 2)),
+        (False, [True], None),  # a long but nothing short behind it
+        (True, [True, False, False], (1, 3)),  # head long, group behind it
+        (False, [False, True], None),  # shorts only before the long
+        (True, [True, True, False], (2, 3)),
+        (False, [True, True, False, True, False], (2, 3)),  # first group only
+    ],
+)
+def test_find_first_short_group(executing_long, flags, expected):
+    assert find_first_short_group(executing_long, flags) == expected
+
+
+# -- Worker.eligible_steal_range ties it together ------------------------
+def test_eligible_range_executing_long_head_shorts():
+    # Figure 3 case b1: executing long, short tasks at queue head.
+    w = worker_with(
+        [short_entry(), short_entry(), long_entry()], current=long_entry()
+    )
+    assert w.eligible_steal_range() == (0, 2)
+
+
+def test_eligible_range_executing_short_group_after_long():
+    # Figure 3 case a1: executing short, group sits behind the queued long.
+    w = worker_with(
+        [short_entry(), long_entry(), short_entry(), short_entry()],
+        current=short_entry(),
+    )
+    assert w.eligible_steal_range() == (2, 4)
+
+
+def test_eligible_range_empty_queue():
+    w = Worker(0, False)
+    assert w.eligible_steal_range() is None
+
+
+def test_eligible_range_no_long_anywhere():
+    w = worker_with([short_entry(), short_entry()], current=short_entry())
+    assert w.eligible_steal_range() is None
+
+
+def test_eligible_range_all_long_queue():
+    w = worker_with([long_entry(), long_entry()], current=long_entry())
+    assert w.eligible_steal_range() is None
+
+
+def test_eligible_range_waiting_probe_counts_as_current():
+    # A worker WAITING on a long probe blocks like an executing long task.
+    w = Worker(0, False)
+    w.enqueue(short_entry())
+    w.current_entry = long_entry()
+    w.state = WorkerState.WAITING
+    assert w.eligible_steal_range() == (0, 1)
+
+
+# -- steal_hint (O(1) necessary condition) -------------------------------
+def test_steal_hint_false_when_empty():
+    assert Worker(0, False).steal_hint() is False
+
+
+def test_steal_hint_true_when_executing_long_with_short_queued():
+    w = worker_with([short_entry()], current=long_entry())
+    assert w.steal_hint() is True
+
+
+def test_steal_hint_false_when_all_queued_long():
+    w = worker_with([long_entry()], current=long_entry())
+    assert w.steal_hint() is False
+
+
+def test_steal_hint_false_short_on_short():
+    w = worker_with([short_entry()], current=short_entry())
+    assert w.steal_hint() is False
+
+
+def test_steal_hint_never_misses_eligible_range():
+    """hint == False must imply no eligible range (necessary condition)."""
+    import itertools
+
+    for current_long in (True, False):
+        for flags in itertools.product([True, False], repeat=4):
+            w = Worker(0, False)
+            for is_long in flags:
+                w.enqueue(long_entry() if is_long else short_entry())
+            w.current_entry = long_entry() if current_long else short_entry()
+            w.state = WorkerState.BUSY
+            if w.eligible_steal_range() is not None:
+                assert w.steal_hint() is True

@@ -1,0 +1,218 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core import Simulation, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Simulation().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulation(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulation()
+    fired = []
+    sim.schedule(3.0, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 3.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulation()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulation()
+    fired = []
+    for i in range(10):
+        sim.schedule(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulation()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulation()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_fired == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulation()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert sim.events_fired == 0
+
+
+def test_events_can_schedule_new_events():
+    sim = Simulation()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulation()
+    times = []
+    sim.schedule(5.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [5.0]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulation()
+    fired = []
+    sim.schedule(5.0, fired.append, "edge")
+    sim.run(until=5.0)
+    assert fired == ["edge"]
+
+
+def test_run_until_advances_clock_when_no_events():
+    sim = Simulation()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_max_events_budget_raises():
+    sim = Simulation()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run(max_events=100)
+
+
+def test_events_fired_counts_only_executed():
+    sim = Simulation()
+    sim.schedule(1.0, lambda: None)
+    handle = sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    sim.run()
+    assert sim.events_fired == 1
+
+
+def test_step_fires_one_event():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert fired == ["a", "b"]
+
+
+def test_step_skips_cancelled_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, "a").cancel()
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["b"]
+
+
+def test_run_not_reentrant():
+    sim = Simulation()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_pending_events_counts_heap_entries():
+    sim = Simulation()
+    sim.schedule(1.0, lambda: None)
+    handle = sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.pending_events == 2  # cancelled entries stay until popped
+
+
+def test_callback_args_are_passed():
+    sim = Simulation()
+    got = []
+    sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "two")
+    sim.run()
+    assert got == [(1, "two")]
+
+
+def test_interleaved_schedule_and_run_preserve_order():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.run()
+    sim.schedule(1.0, fired.append, 2)
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.now == 2.0
+
+
+def test_large_event_volume_ordering():
+    sim = Simulation()
+    fired = []
+    import random
+
+    rng = random.Random(7)
+    times = [rng.uniform(0, 100) for _ in range(2000)]
+    for t in times:
+        sim.schedule(t, fired.append, t)
+    sim.run()
+    assert fired == sorted(times)

@@ -1,0 +1,107 @@
+"""Smoke tests: every figure/table driver runs at quick scale and its
+output has the structure the benchmarks rely on."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_motivation,
+    fig04_workload_cdfs,
+    fig05_google,
+    fig06_other_traces,
+    fig07_ablation,
+    fig08_09_centralized,
+    fig10_11_split,
+    fig12_13_cutoff,
+    fig14_misestimation,
+    fig15_stealing_cap,
+    tables,
+)
+
+QUICK_TARGETS = (1.0, 0.5)
+
+
+def test_table1_rows_cover_all_workloads():
+    result = tables.run_table1("quick")
+    assert len(result.rows) == 4
+    ours = result.column("% task-sec (ours)")
+    assert all(50.0 < v <= 100.0 for v in ours)
+
+
+def test_table2_reports_job_counts():
+    result = tables.run_table2("quick")
+    counts = result.column("jobs (ours)")
+    assert all(c > 0 for c in counts)
+
+
+def test_fig01_shows_head_of_line_blocking():
+    result = fig01_motivation.run(scale=0.02)
+    multiples = result.column("x task duration")
+    # the p90 short job must run far longer than its 100 s of work
+    assert multiples[-2] > 10.0
+    assert result.render()
+
+
+def test_fig04_has_both_classes_for_every_workload():
+    result = fig04_workload_cdfs.run("quick")
+    workloads = set(result.column("workload"))
+    assert workloads == {
+        "google-like",
+        "cloudera-c",
+        "facebook-2010",
+        "yahoo-2011",
+    }
+    classes = set(result.column("class"))
+    assert classes == {"long", "short"}
+
+
+def test_fig05_hawk_beats_sparrow_for_shorts_at_high_load():
+    result = fig05_google.run("quick", utilization_targets=QUICK_TARGETS)
+    short_p50 = result.column("short p50")
+    assert short_p50[0] < 0.9  # high-load point: Hawk clearly better
+    long_p50 = result.column("long p50")
+    assert all(v < 1.6 for v in long_p50)  # long jobs competitive
+
+
+def test_fig06_rows_per_workload():
+    result = fig06_other_traces.run("quick", utilization_targets=(1.0,))
+    assert len(result.rows) == 3
+    assert all(v <= 1.3 for v in result.column("short p90"))
+
+
+def test_fig07_without_stealing_hurts_shorts():
+    result = fig07_ablation.run("quick")
+    rows = {row[0]: row for row in result.rows}
+    no_steal = rows["hawk-no-stealing"]
+    assert no_steal[1] > 1.0 or no_steal[2] > 1.0  # short p50/p90 worse
+
+
+def test_fig08_09_has_all_sizes():
+    result = fig08_09_centralized.run("quick", utilization_targets=QUICK_TARGETS)
+    assert len(result.rows) == 2
+
+
+def test_fig10_11_split_hurts_shorts_somewhere():
+    result = fig10_11_split.run("quick", utilization_targets=QUICK_TARGETS)
+    assert min(result.column("short p50")) < 1.0
+
+
+def test_fig12_13_long_fraction_decreases_with_cutoff():
+    result = fig12_13_cutoff.run("quick", cutoffs=(750.0, 2000.0))
+    fractions = result.column("% jobs long")
+    assert fractions[0] >= fractions[1]
+
+
+def test_fig14_short_jobs_barely_affected():
+    result = fig14_misestimation.run(
+        "quick", ranges=((0.5, 1.5),), repetitions=2
+    )
+    assert len(result.rows) == 1
+    # short jobs do not use estimates; ratios stay in a sane band
+    assert 0.0 < result.rows[0][3] < 1.5
+
+
+def test_fig15_cap10_not_worse_than_cap1():
+    result = fig15_stealing_cap.run("quick", caps=(1, 10))
+    rows = {row[0]: row for row in result.rows}
+    assert rows[1][1] == pytest.approx(1.0)  # normalized to itself
+    assert rows[10][1] <= 1.1

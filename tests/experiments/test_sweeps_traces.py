@@ -1,0 +1,80 @@
+"""Tests for the sweep helpers and the canonical experiment traces."""
+
+import pytest
+
+from repro.cluster.job import JobClass
+from repro.experiments.config import RunSpec
+from repro.experiments.sweeps import compare_at_size, extra_metrics, sweep
+from repro.experiments.traces import (
+    ALL_WORKLOAD_SPECS,
+    google_cutoff,
+    google_short_fraction,
+    google_trace,
+    kmeans_workload_trace,
+)
+from repro.workloads.spec import Trace
+from tests.conftest import TEST_CUTOFF, long_job, short_job
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    jobs = [long_job(0, 0.0, 4), long_job(1, 1.0, 4)]
+    jobs += [short_job(10 + i, float(i)) for i in range(8)]
+    return Trace(jobs, name="sweep-small")
+
+
+HAWK = RunSpec(
+    scheduler="hawk",
+    n_workers=1,
+    cutoff=TEST_CUTOFF,
+    short_partition_fraction=0.25,
+)
+SPARROW = RunSpec(scheduler="sparrow", n_workers=1, cutoff=TEST_CUTOFF)
+
+
+def test_compare_at_size_populates_all_ratios(small_trace):
+    point = compare_at_size(small_trace, 8, HAWK, SPARROW)
+    assert point.n_workers == 8
+    for ratio in (
+        point.short_p50_ratio,
+        point.short_p90_ratio,
+        point.long_p50_ratio,
+        point.long_p90_ratio,
+    ):
+        assert ratio > 0
+    assert 0.0 <= point.baseline_median_utilization <= 1.0
+
+
+def test_sweep_returns_one_point_per_size(small_trace):
+    points = sweep(small_trace, (6, 8, 12), HAWK, SPARROW)
+    assert [p.n_workers for p in points] == [6, 8, 12]
+
+
+def test_extra_metrics_bounded(small_trace):
+    point = compare_at_size(small_trace, 8, HAWK, SPARROW)
+    frac, avg = extra_metrics(point, JobClass.SHORT)
+    assert 0.0 <= frac <= 1.0
+    assert avg > 0
+
+
+def test_google_trace_cached_per_scale_and_seed():
+    a = google_trace("quick", seed=0)
+    b = google_trace("quick", seed=0)
+    assert a is b
+    c = google_trace("quick", seed=1)
+    assert c is not a
+
+
+def test_kmeans_trace_cached():
+    spec = ALL_WORKLOAD_SPECS[0]
+    a = kmeans_workload_trace(spec, "quick")
+    assert kmeans_workload_trace(spec, "quick") is a
+
+
+def test_google_constants():
+    assert google_cutoff() == 1129.0
+    assert google_short_fraction() == 0.17
+
+
+def test_full_scale_traces_are_bigger():
+    assert len(google_trace("full")) > len(google_trace("quick"))

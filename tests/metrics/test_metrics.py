@@ -1,0 +1,142 @@
+"""Tests for percentiles and run comparisons."""
+
+import pytest
+
+from repro.cluster.job import JobClass
+from repro.cluster.records import JobRecord, RunResult
+from repro.core.errors import ConfigurationError
+from repro.metrics import compare_runs, percentile
+from repro.metrics.comparison import (
+    average_runtime_ratio,
+    fraction_improved,
+    normalized_percentile,
+)
+
+
+# -- percentile -------------------------------------------------------------
+def test_percentile_median_odd():
+    assert percentile([1, 2, 3], 50) == 2
+
+
+def test_percentile_median_even_interpolates():
+    assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+
+def test_percentile_extremes():
+    values = [5, 1, 9]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 9
+
+
+def test_percentile_p90():
+    values = list(range(1, 11))
+    assert percentile(values, 90) == pytest.approx(9.1)
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 90) == 7.0
+
+
+def test_percentile_unsorted_input():
+    assert percentile([9, 1, 5], 50) == 5
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_rejected():
+    with pytest.raises(ConfigurationError):
+        percentile([1], 101)
+
+
+def test_percentile_matches_numpy():
+    import numpy as np
+
+    values = [3.1, 0.2, 9.9, 4.4, 7.3, 1.8]
+    for p in (10, 25, 50, 75, 90, 99):
+        assert percentile(values, p) == pytest.approx(
+            float(np.percentile(values, p))
+        )
+
+
+# -- comparisons --------------------------------------------------------------
+def make_result(runtimes_by_id, job_class=JobClass.SHORT, name="x"):
+    records = tuple(
+        JobRecord(
+            job_id=jid,
+            submit_time=0.0,
+            completion_time=rt,
+            num_tasks=1,
+            true_mean_task_duration=1.0,
+            estimated_task_duration=1.0,
+            task_seconds=1.0,
+            scheduled_class=job_class,
+            true_class=job_class,
+            stolen_tasks=0,
+        )
+        for jid, rt in runtimes_by_id.items()
+    )
+    return RunResult(scheduler_name=name, n_workers=1, jobs=records, utilization=())
+
+
+def test_normalized_percentile_basic():
+    cand = make_result({0: 10.0, 1: 20.0, 2: 30.0})
+    base = make_result({0: 20.0, 1: 40.0, 2: 60.0})
+    assert normalized_percentile(cand, base, JobClass.SHORT, 50) == 0.5
+
+
+def test_normalized_percentile_missing_class_raises():
+    cand = make_result({0: 10.0})
+    base = make_result({0: 10.0})
+    with pytest.raises(ConfigurationError):
+        normalized_percentile(cand, base, JobClass.LONG, 50)
+
+
+def test_average_runtime_ratio():
+    cand = make_result({0: 10.0, 1: 30.0})
+    base = make_result({0: 40.0, 1: 40.0})
+    assert average_runtime_ratio(cand, base, JobClass.SHORT) == 0.5
+
+
+def test_fraction_improved_pairs_by_job_id():
+    cand = make_result({0: 5.0, 1: 50.0, 2: 10.0})
+    base = make_result({0: 10.0, 1: 10.0, 2: 10.0})
+    assert fraction_improved(cand, base, JobClass.SHORT) == pytest.approx(2 / 3)
+
+
+def test_fraction_improved_counts_ties_as_improved():
+    cand = make_result({0: 10.0})
+    base = make_result({0: 10.0})
+    assert fraction_improved(cand, base, JobClass.SHORT) == 1.0
+
+
+def test_fraction_improved_no_shared_ids_raises():
+    cand = make_result({0: 5.0})
+    base = make_result({9: 10.0})
+    with pytest.raises(ConfigurationError):
+        fraction_improved(cand, base, JobClass.SHORT)
+
+
+def test_compare_runs_bundles_metrics():
+    cand = make_result({i: 10.0 for i in range(10)})
+    base = make_result({i: 20.0 for i in range(10)})
+    comp = compare_runs(cand, base, JobClass.SHORT)
+    assert comp.p50_ratio == 0.5
+    assert comp.p90_ratio == 0.5
+    assert comp.avg_ratio == 0.5
+    assert comp.fraction_improved == 1.0
+
+
+def test_compare_runs_none_class_uses_all_jobs():
+    cand = make_result({0: 10.0}, JobClass.SHORT)
+    base = make_result({0: 20.0}, JobClass.SHORT)
+    comp = compare_runs(cand, base, None)
+    assert comp.p50_ratio == 0.5
+
+
+def test_run_result_median_utilization_empty():
+    res = make_result({0: 1.0})
+    assert res.median_utilization() == 0.0
+    assert res.max_utilization() == 0.0

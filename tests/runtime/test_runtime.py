@@ -1,0 +1,170 @@
+"""Tests for the threaded prototype runtime (small, fast clusters)."""
+
+import pytest
+
+from repro.cluster.job import JobClass
+from repro.core.errors import ConfigurationError
+from repro.runtime import PrototypeCluster, PrototypeConfig
+from repro.runtime.coordinator import Coordinator
+from repro.runtime.entries import ProtoJob, ProtoProbe, ProtoTask
+from repro.runtime.frontend import DistributedFrontend
+from repro.workloads.spec import JobSpec, Trace
+
+
+def proto_job(job_id=0, durations=(0.01, 0.01), is_long=False):
+    return ProtoJob(
+        job_id=job_id,
+        submit_time=0.0,
+        durations=tuple(durations),
+        is_long=is_long,
+        mean_duration=sum(durations) / len(durations),
+    )
+
+
+# -- frontend (no threads needed) -------------------------------------------
+class FakeMonitor:
+    def __init__(self):
+        self.delivered = []
+
+    def deliver(self, item):
+        self.delivered.append(item)
+
+
+def test_frontend_sends_two_probes_per_task():
+    monitors = [FakeMonitor() for _ in range(10)]
+    frontend = DistributedFrontend(0, monitors, probe_ratio=2, seed=0)
+    frontend.submit(proto_job(durations=(0.01,) * 3))
+    total = sum(len(m.delivered) for m in monitors)
+    assert total == 6
+
+
+def test_frontend_scope_restricts_targets():
+    monitors = [FakeMonitor() for _ in range(10)]
+    frontend = DistributedFrontend(0, monitors, seed=0)
+    frontend.submit(proto_job(durations=(0.01,) * 2), scope=range(8, 10))
+    for i in range(8):
+        assert not monitors[i].delivered
+    assert sum(len(m.delivered) for m in monitors[8:]) == 4
+
+
+def test_frontend_late_binding_hands_each_task_once():
+    monitors = [FakeMonitor() for _ in range(4)]
+    frontend = DistributedFrontend(0, monitors, seed=0)
+    job = proto_job(durations=(0.01, 0.02))
+    frontend.submit(job)
+    tasks = [frontend.request_task(job) for _ in range(4)]
+    real = [t for t in tasks if t is not None]
+    assert len(real) == 2
+    assert {t.index for t in real} == {0, 1}
+    assert frontend.cancels_sent == 2
+
+
+# -- coordinator ---------------------------------------------------------------
+def test_coordinator_balances_tasks():
+    monitors = [FakeMonitor() for _ in range(3)]
+    coord = Coordinator(monitors, scope=range(3))
+    coord.submit(proto_job(durations=(0.05,) * 6, is_long=True))
+    counts = [len(m.delivered) for m in monitors]
+    assert counts == [2, 2, 2]
+
+
+def test_coordinator_scope_restriction():
+    monitors = [FakeMonitor() for _ in range(4)]
+    coord = Coordinator(monitors, scope=range(2))
+    coord.submit(proto_job(durations=(0.05,) * 4, is_long=True))
+    assert not monitors[2].delivered and not monitors[3].delivered
+
+
+def test_coordinator_completion_feedback_lowers_waiting():
+    monitors = [FakeMonitor() for _ in range(2)]
+    coord = Coordinator(monitors, scope=range(2))
+    job = proto_job(durations=(0.05, 0.05), is_long=True)
+    coord.submit(job)
+    before = coord.waiting_time(0)
+    coord.report_finished(0, job)
+    assert coord.waiting_time(0) < before
+
+
+def test_coordinator_ignores_reports_outside_scope():
+    monitors = [FakeMonitor() for _ in range(3)]
+    coord = Coordinator(monitors, scope=range(2))
+    coord.report_finished(2, proto_job(is_long=True))  # must not raise
+
+
+# -- full prototype runs ----------------------------------------------------------
+def small_trace():
+    jobs = [
+        JobSpec(0, 0.0, (0.08,) * 4),  # long-ish job
+        JobSpec(1, 0.01, (0.005, 0.005)),
+        JobSpec(2, 0.02, (0.005, 0.005)),
+        JobSpec(3, 0.03, (0.005,)),
+    ]
+    return Trace(jobs, name="proto-small")
+
+
+def run_proto(scheduler, **overrides):
+    config = PrototypeConfig(
+        scheduler=scheduler,
+        n_monitors=8,
+        n_frontends=2,
+        cutoff=0.05,
+        timeout=30.0,
+        **overrides,
+    )
+    cluster = PrototypeCluster(config)
+    return cluster.run(small_trace())
+
+
+@pytest.mark.parametrize("scheduler", ["sparrow", "hawk", "split"])
+def test_prototype_completes_all_jobs(scheduler):
+    res = run_proto(scheduler)
+    assert len(res.jobs) == 4
+    assert all(r.completion_time > 0 for r in res.jobs)
+
+
+def test_prototype_classifies_by_cutoff():
+    res = run_proto("hawk")
+    by_id = {r.job_id: r for r in res.jobs}
+    assert by_id[0].true_class is JobClass.LONG
+    assert by_id[1].true_class is JobClass.SHORT
+
+
+def test_prototype_long_job_ids_override():
+    config = PrototypeConfig(
+        scheduler="hawk", n_monitors=8, n_frontends=2, cutoff=0.05, timeout=30.0
+    )
+    cluster = PrototypeCluster(config)
+    res = cluster.run(small_trace(), long_job_ids=frozenset({1}))
+    by_id = {r.job_id: r for r in res.jobs}
+    assert by_id[1].true_class is JobClass.LONG
+    assert by_id[0].true_class is JobClass.SHORT
+
+
+def test_prototype_runtimes_positive_and_ordered():
+    res = run_proto("sparrow")
+    for r in res.jobs:
+        assert r.runtime > 0
+        assert r.completion_time >= r.submit_time
+
+
+def test_prototype_config_validation():
+    with pytest.raises(ConfigurationError):
+        PrototypeConfig(scheduler="nope")
+    with pytest.raises(ConfigurationError):
+        PrototypeConfig(n_monitors=1)
+
+
+def test_prototype_sparrow_has_no_stealing():
+    res = run_proto("sparrow")
+    assert res.stealing.entries_stolen == 0
+
+
+def test_prototype_task_conservation():
+    config = PrototypeConfig(
+        scheduler="hawk", n_monitors=8, n_frontends=2, cutoff=0.05, timeout=30.0
+    )
+    cluster = PrototypeCluster(config)
+    trace = small_trace()
+    cluster.run(trace)
+    executed = sum(m.tasks_executed for m in cluster.monitors)
+    assert executed == trace.total_tasks

@@ -1,0 +1,47 @@
+"""Tests for the late-binding probe frontend."""
+
+from repro.cluster.job import Job
+from repro.schedulers.frontend import ProbeFrontend
+
+
+def make_frontend(n_tasks=3):
+    job = Job(1, 0.0, tuple([10.0] * n_tasks), 10.0, cutoff=100.0)
+    return ProbeFrontend(job), job
+
+
+def test_hands_out_tasks_in_index_order():
+    frontend, job = make_frontend(3)
+    assert frontend.next_task() is job.tasks[0]
+    assert frontend.next_task() is job.tasks[1]
+    assert frontend.next_task() is job.tasks[2]
+
+
+def test_cancel_after_exhaustion():
+    frontend, _ = make_frontend(1)
+    assert frontend.next_task() is not None
+    assert frontend.next_task() is None
+    assert frontend.next_task() is None
+
+
+def test_remaining_counts_down():
+    frontend, _ = make_frontend(2)
+    assert frontend.remaining == 2
+    frontend.next_task()
+    assert frontend.remaining == 1
+    frontend.next_task()
+    assert frontend.remaining == 0
+
+
+def test_cancels_sent_counter():
+    frontend, _ = make_frontend(1)
+    frontend.next_task()
+    frontend.next_task()
+    frontend.next_task()
+    assert frontend.cancels_sent == 2
+
+
+def test_each_task_handed_out_once():
+    frontend, job = make_frontend(5)
+    handed = [frontend.next_task() for _ in range(5)]
+    assert len(set(id(t) for t in handed)) == 5
+    assert frontend.next_task() is None

@@ -1,0 +1,130 @@
+"""Tests for the Hawk hybrid policy and the split-cluster baseline."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterEngine, EngineConfig, Partition
+from repro.schedulers import HawkScheduler, SplitScheduler, WorkStealing
+from repro.schedulers.centralized import CentralizedScheduler
+from repro.schedulers.sparrow import SparrowScheduler
+from repro.workloads.spec import Trace
+from tests.conftest import TEST_CUTOFF, job, long_job, short_job
+
+
+def build_hawk(n_workers=8, centralize_long=True, stealing=False):
+    scheduler = HawkScheduler(centralize_long=centralize_long)
+    engine = ClusterEngine(
+        Cluster(n_workers, short_partition_fraction=0.25),
+        scheduler,
+        EngineConfig(cutoff=TEST_CUTOFF),
+        stealing=WorkStealing() if stealing else None,
+    )
+    return engine, scheduler
+
+
+# -- routing -------------------------------------------------------------
+def test_long_jobs_counted_to_centralized():
+    engine, scheduler = build_hawk()
+    trace = Trace([long_job(0, 0.0), short_job(1, 1.0)], name="t")
+    engine.run(trace)
+    assert scheduler.long_jobs == 1
+    assert scheduler.short_jobs == 1
+
+
+def test_long_component_is_centralized_by_default():
+    _, scheduler = build_hawk()
+    assert isinstance(scheduler.long_component, CentralizedScheduler)
+    assert scheduler.long_component.partition is Partition.GENERAL
+
+
+def test_no_centralized_ablation_uses_probing_on_general():
+    _, scheduler = build_hawk(centralize_long=False)
+    assert isinstance(scheduler.long_component, SparrowScheduler)
+    assert scheduler.long_component.partition is Partition.GENERAL
+
+
+def test_long_tasks_never_run_in_short_partition():
+    engine, _ = build_hawk()
+    trace = Trace(
+        [long_job(i, float(i), tasks=6) for i in range(3)], name="longs"
+    )
+    engine.run(trace)
+    for wid in engine.cluster.ids(Partition.SHORT_RESERVED):
+        assert engine.cluster.worker(wid).tasks_executed == 0
+
+
+def test_long_tasks_never_run_in_short_partition_without_centralized():
+    engine, _ = build_hawk(centralize_long=False)
+    trace = Trace([long_job(i, float(i), tasks=6) for i in range(3)], name="l")
+    engine.run(trace)
+    for wid in engine.cluster.ids(Partition.SHORT_RESERVED):
+        assert engine.cluster.worker(wid).tasks_executed == 0
+
+
+def test_short_jobs_may_use_entire_cluster():
+    engine, _ = build_hawk(n_workers=4)
+    # Many short jobs: with only 3 general workers, some tasks must land
+    # in the short partition too.
+    trace = Trace([short_job(i, 0.0, tasks=4) for i in range(8)], name="s")
+    engine.run(trace)
+    short_ids = list(engine.cluster.ids(Partition.SHORT_RESERVED))
+    assert sum(engine.cluster.worker(w).tasks_executed for w in short_ids) > 0
+
+
+def test_classification_uses_estimate_not_truth():
+    scheduler = HawkScheduler()
+    engine = ClusterEngine(
+        Cluster(8, short_partition_fraction=0.25),
+        scheduler,
+        EngineConfig(cutoff=TEST_CUTOFF),
+        estimate=lambda spec: 1e6,  # everything misestimated as long
+    )
+    trace = Trace([short_job(0, 0.0), short_job(1, 1.0)], name="t")
+    engine.run(trace)
+    assert scheduler.long_jobs == 2
+    assert scheduler.short_jobs == 0
+
+
+def test_hawk_name():
+    assert HawkScheduler().name == "hawk"
+
+
+# -- split cluster --------------------------------------------------------
+def build_split(n_workers=8):
+    scheduler = SplitScheduler()
+    engine = ClusterEngine(
+        Cluster(n_workers, short_partition_fraction=0.25),
+        scheduler,
+        EngineConfig(cutoff=TEST_CUTOFF),
+    )
+    return engine, scheduler
+
+
+def test_split_short_jobs_only_in_short_partition():
+    engine, _ = build_split()
+    trace = Trace([short_job(i, float(i)) for i in range(4)], name="s")
+    engine.run(trace)
+    for wid in engine.cluster.ids(Partition.GENERAL):
+        assert engine.cluster.worker(wid).tasks_executed == 0
+
+
+def test_split_long_jobs_only_in_general_partition():
+    engine, _ = build_split()
+    trace = Trace([long_job(0, 0.0)], name="l")
+    engine.run(trace)
+    for wid in engine.cluster.ids(Partition.SHORT_RESERVED):
+        assert engine.cluster.worker(wid).tasks_executed == 0
+
+
+def test_split_mixed_trace_completes(tiny_trace):
+    engine, _ = build_split()
+    res = engine.run(tiny_trace)
+    assert len(res.jobs) == len(tiny_trace)
+
+
+def test_split_short_jobs_queue_in_small_partition():
+    """The split cluster's defining weakness: shorts cannot overflow."""
+    engine, _ = build_split(n_workers=8)  # short partition = 2 workers
+    trace = Trace([short_job(i, 0.0, tasks=4) for i in range(4)], name="s")
+    res = engine.run(trace)
+    # 16 short tasks of 10 s on 2 workers: >= 80 s of serial work.
+    assert max(r.completion_time for r in res.jobs) >= 80.0

@@ -1,0 +1,167 @@
+"""Tests for randomized work stealing."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterEngine, EngineConfig, JobClass, Partition
+from repro.core.errors import ConfigurationError
+from repro.schedulers import HawkScheduler, WorkStealing
+from repro.workloads.spec import Trace
+from tests.conftest import TEST_CUTOFF, job, long_job, short_job
+
+
+def build(n_workers=8, cap=10, short_fraction=0.25):
+    stealing = WorkStealing(cap=cap)
+    engine = ClusterEngine(
+        Cluster(n_workers, short_partition_fraction=short_fraction),
+        HawkScheduler(),
+        EngineConfig(cutoff=TEST_CUTOFF),
+        stealing=stealing,
+    )
+    return engine, stealing
+
+
+def test_cap_validation():
+    with pytest.raises(ConfigurationError):
+        WorkStealing(cap=0)
+
+
+def test_retry_window_validation():
+    with pytest.raises(ConfigurationError):
+        WorkStealing(retry_initial=2.0, retry_max=1.0)
+
+
+def test_double_bind_rejected():
+    engine, stealing = build()
+    with pytest.raises(RuntimeError):
+        stealing.bind(engine)
+
+
+def test_stealing_rescues_blocked_short_tasks():
+    """Shorts queued behind longs must migrate to idle workers."""
+    engine, stealing = build(n_workers=8)
+    # 6 long jobs saturate the 6 general workers, then shorts arrive.
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(4)]
+    res = engine.run(Trace(trace_jobs, name="t"))
+    stats = res.stealing
+    assert stats.entries_stolen > 0
+    # Short jobs must not wait for the 1000 s long tasks.
+    short_runtimes = res.runtimes(JobClass.SHORT)
+    assert max(short_runtimes) < 500.0
+
+
+def test_without_stealing_shorts_block():
+    engine = ClusterEngine(
+        Cluster(8, short_partition_fraction=0.25),
+        HawkScheduler(),
+        EngineConfig(cutoff=TEST_CUTOFF),
+        stealing=None,
+    )
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(4)]
+    res = engine.run(Trace(trace_jobs, name="t"))
+    # Short partition has 2 workers for 8 short tasks; some short probes
+    # land behind longs in the general partition and stay there.
+    assert max(res.runtimes(JobClass.SHORT)) > 500.0
+
+
+def test_victims_only_in_general_partition():
+    engine, stealing = build(n_workers=8)
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(6)]
+    engine.run(Trace(trace_jobs, name="t"))
+    for wid in engine.cluster.ids(Partition.SHORT_RESERVED):
+        assert engine.cluster.worker(wid).tasks_stolen_from == 0
+
+
+def test_short_partition_workers_do_steal():
+    engine, stealing = build(n_workers=8)
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=3) for i in range(6)]
+    engine.run(Trace(trace_jobs, name="t"))
+    short_ids = engine.cluster.ids(Partition.SHORT_RESERVED)
+    stolen_by_short = sum(
+        engine.cluster.worker(w).tasks_stolen_by for w in short_ids
+    )
+    assert stolen_by_short > 0
+
+
+def test_stolen_tasks_recorded_on_jobs():
+    engine, _ = build(n_workers=8)
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(4)]
+    res = engine.run(Trace(trace_jobs, name="t"))
+    bound = sum(r.stolen_tasks for r in res.jobs)
+    # Stolen probes that end up cancelled never bind a task, so the
+    # per-job tally is a lower bound on entries moved.
+    assert 0 < bound <= res.stealing.entries_stolen
+
+
+def test_long_entries_never_stolen():
+    engine, _ = build(n_workers=4, short_fraction=0.25)
+    # More long jobs than general workers: longs queue behind longs.
+    trace_jobs = [long_job(i, 0.0, tasks=2) for i in range(5)]
+    res = engine.run(Trace(trace_jobs, name="t"))
+    assert res.stealing.entries_stolen == 0
+    long_records = res.records(JobClass.LONG)
+    assert all(r.stolen_tasks == 0 for r in long_records)
+
+
+def test_stats_counters_consistent():
+    engine, _ = build(n_workers=8)
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(4)]
+    res = engine.run(Trace(trace_jobs, name="t"))
+    stats = res.stealing
+    assert stats.successful_rounds <= stats.rounds
+    assert stats.victims_probed >= stats.successful_rounds
+    assert 0.0 <= stats.success_rate <= 1.0
+
+
+def test_cap_one_limits_probes_per_round():
+    engine, _ = build(n_workers=8, cap=1)
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(4)]
+    res = engine.run(Trace(trace_jobs, name="t"))
+    assert res.stealing.victims_probed <= res.stealing.rounds
+
+
+def test_higher_cap_not_worse_for_shorts():
+    results = {}
+    for cap in (1, 10):
+        engine, _ = build(n_workers=10, cap=cap)
+        trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(7)]
+        trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(6)]
+        res = engine.run(Trace(trace_jobs, name="t"))
+        results[cap] = sorted(res.runtimes(JobClass.SHORT))[len(res.runtimes(JobClass.SHORT)) // 2]
+    assert results[10] <= results[1] * 1.5  # cap 10 at least comparable
+
+
+def test_single_worker_cluster_cannot_steal():
+    stealing = WorkStealing()
+    engine = ClusterEngine(
+        Cluster(2, short_partition_fraction=0.5),
+        HawkScheduler(),
+        EngineConfig(cutoff=TEST_CUTOFF),
+        stealing=stealing,
+    )
+    res = engine.run(Trace([short_job(0, 0.0, tasks=2)], name="t"))
+    assert res.stealing.entries_stolen == 0
+
+
+def test_steal_hint_count_returns_to_zero():
+    engine, _ = build(n_workers=8)
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(4)]
+    engine.run(Trace(trace_jobs, name="t"))
+    assert engine.cluster.steal_hint_count == 0
+
+
+def test_stolen_probe_binds_and_marks_task():
+    engine, _ = build(n_workers=8)
+    trace_jobs = [long_job(i, 0.0, tasks=1) for i in range(6)]
+    trace_jobs += [short_job(10 + i, 1.0, tasks=2) for i in range(4)]
+    res = engine.run(Trace(trace_jobs, name="t"))
+    stolen_jobs = [r for r in res.jobs if r.stolen_tasks > 0]
+    assert stolen_jobs
+    assert all(r.true_class is JobClass.SHORT for r in stolen_jobs)

@@ -1,0 +1,117 @@
+"""Regression tests pinning the paper's qualitative claims.
+
+Each test encodes one sentence of the paper's evaluation as an executable
+assertion at quick scale, so a future change that silently breaks a
+reproduced result fails CI with the claim spelled out.
+"""
+
+import pytest
+
+from repro.cluster.job import JobClass
+from repro.experiments.config import RunSpec, high_load_size
+from repro.experiments.runner import run_cached
+from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.metrics.comparison import normalized_percentile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return google_trace("quick", seed=0)
+
+
+@pytest.fixture(scope="module")
+def n_high(trace):
+    return high_load_size(trace)
+
+
+def run(trace, scheduler, n, **kw):
+    return run_cached(
+        RunSpec(
+            scheduler=scheduler,
+            n_workers=n,
+            cutoff=google_cutoff(),
+            short_partition_fraction=google_short_fraction(),
+            **kw,
+        ),
+        trace,
+    )
+
+
+def test_claim_hawk_improves_short_p50_under_high_load(trace, n_high):
+    """Section 4.2: 'Hawk improves the 50th percentile runtimes for
+    short jobs' under high load."""
+    hawk = run(trace, "hawk", n_high)
+    sparrow = run(trace, "sparrow", n_high)
+    assert normalized_percentile(hawk, sparrow, JobClass.SHORT, 50) < 0.8
+
+
+def test_claim_hawk_improves_short_p90_under_high_load(trace, n_high):
+    hawk = run(trace, "hawk", n_high)
+    sparrow = run(trace, "sparrow", n_high)
+    assert normalized_percentile(hawk, sparrow, JobClass.SHORT, 90) < 0.9
+
+
+def test_claim_benefits_fade_in_idle_clusters(trace):
+    """Section 4.2: 'the benefits of Hawk decrease as the cluster
+    becomes mostly idle. Any scheduler is likely to do well.'"""
+    n_idle = 4 * high_load_size(trace)
+    hawk = run(trace, "hawk", n_idle)
+    sparrow = run(trace, "sparrow", n_idle)
+    ratio = normalized_percentile(hawk, sparrow, JobClass.SHORT, 50)
+    assert 0.6 <= ratio <= 1.15
+
+
+def test_claim_stealing_contributes_most_for_short_jobs(trace, n_high):
+    """Section 4.4: 'work stealing contributing the most to the overall
+    improvement' for short jobs."""
+    hawk = run(trace, "hawk", n_high)
+    no_steal = run(trace, "hawk-no-stealing", n_high)
+    no_partition = run(trace, "hawk-no-partition", n_high)
+    hit_no_steal = normalized_percentile(no_steal, hawk, JobClass.SHORT, 90)
+    hit_no_partition = normalized_percentile(
+        no_partition, hawk, JobClass.SHORT, 90
+    )
+    assert hit_no_steal > 1.0
+    assert hit_no_steal >= hit_no_partition * 0.8
+
+
+def test_claim_centralized_key_for_long_jobs(trace, n_high):
+    """Section 4.4: 'The centralized scheduler is a key component for
+    obtaining good performance for the long jobs.'"""
+    hawk = run(trace, "hawk", n_high)
+    no_central = run(trace, "hawk-no-centralized", n_high)
+    assert normalized_percentile(no_central, hawk, JobClass.LONG, 50) > 1.0
+
+
+def test_claim_split_cluster_hurts_short_jobs(trace, n_high):
+    """Section 4.6: the split cluster 'comes at the cost of greatly
+    increasing runtime for short jobs.'"""
+    hawk = run(trace, "hawk", n_high)
+    split = run(trace, "split", n_high)
+    assert normalized_percentile(hawk, split, JobClass.SHORT, 50) < 1.0
+
+
+def test_claim_centralized_penalizes_short_tail_under_load(trace, n_high):
+    """Section 4.5: 'The centralized scheduler penalizes short jobs when
+    the cluster is heavily loaded.'"""
+    hawk = run(trace, "hawk", n_high)
+    central = run(trace, "centralized", n_high)
+    assert normalized_percentile(hawk, central, JobClass.SHORT, 90) <= 1.05
+
+
+def test_claim_robust_to_misestimation(trace, n_high):
+    """Section 4.8: 'Hawk is robust to mis-estimations.'"""
+    from repro.schedulers.estimator import UniformMisestimation
+
+    sparrow = run(trace, "sparrow", n_high)
+    exact = run(trace, "hawk", n_high)
+    noisy = run(
+        trace,
+        "hawk",
+        n_high,
+        estimate=UniformMisestimation(0.1, 1.9, seed=0),
+        estimate_tag="claim-mis",
+    )
+    exact_ratio = normalized_percentile(exact, sparrow, JobClass.LONG, 50)
+    noisy_ratio = normalized_percentile(noisy, sparrow, JobClass.LONG, 50)
+    assert noisy_ratio < max(2.0 * exact_ratio, exact_ratio + 0.5)
