@@ -80,7 +80,6 @@ class ClusterEngine:
         self._jobs_done = 0
         self._done = False
         self._utilization: list[UtilizationSample] = []
-        self._sampler_handle = None
         scheduler.bind(self)
         if stealing is not None:
             stealing.bind(self)

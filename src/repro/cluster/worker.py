@@ -60,10 +60,13 @@ def find_first_short_group(
 class QueueEntry:
     """Base class for queue entries."""
 
-    __slots__ = ("job_class",)
+    __slots__ = ("job_class", "seq")
 
     def __init__(self, job_class: JobClass) -> None:
         self.job_class = job_class
+        #: Queue-order sequence number, assigned by the owning worker on
+        #: enqueue; entries compare in queue order iff their seqs do.
+        self.seq = 0
 
     @property
     def is_long(self) -> bool:
@@ -116,7 +119,10 @@ class Worker:
         "queue",
         "current_entry",
         "current_task",
-        "long_entries",
+        "_short_seqs",
+        "_long_seqs",
+        "_head_seq",
+        "_tail_seq",
         "counted_steal_hint",
         "steal_backoff",
         "pending_steal_retry",
@@ -132,8 +138,14 @@ class Worker:
         self.queue: deque[QueueEntry] = deque()
         self.current_entry: QueueEntry | None = None
         self.current_task: "Task | None" = None
-        #: Long entries in the queue — an O(1) steal-eligibility pre-check.
-        self.long_entries = 0
+        # Per-class sequence numbers of queued entries, in queue order.
+        # Tail enqueues count up from 0, head enqueues count down from -1,
+        # so both deques stay sorted and ``_short_seqs[-1] > _long_seqs[0]``
+        # is an O(1) test for "a short entry sits behind a long one".
+        self._short_seqs: deque[int] = deque()
+        self._long_seqs: deque[int] = deque()
+        self._head_seq = -1
+        self._tail_seq = 0
         #: Whether this worker is counted in the cluster's steal-hint
         #: tally (engine-maintained, general partition only).
         self.counted_steal_hint = False
@@ -153,24 +165,32 @@ class Worker:
     def queue_length(self) -> int:
         return len(self.queue)
 
+    @property
+    def long_entries(self) -> int:
+        """Number of long entries currently in the queue."""
+        return len(self._long_seqs)
+
     def enqueue(self, entry: QueueEntry) -> None:
+        entry.seq = self._tail_seq
+        self._tail_seq += 1
         self.queue.append(entry)
-        if entry.is_long:
-            self.long_entries += 1
+        (self._long_seqs if entry.is_long else self._short_seqs).append(entry.seq)
 
     def enqueue_front(self, entries: Iterable[QueueEntry]) -> None:
         """Place stolen entries at the head (they were blocked elsewhere)."""
         for entry in reversed(list(entries)):
+            entry.seq = self._head_seq
+            self._head_seq -= 1
             self.queue.appendleft(entry)
-            if entry.is_long:
-                self.long_entries += 1
+            (self._long_seqs if entry.is_long else self._short_seqs).appendleft(
+                entry.seq
+            )
 
     def pop_next(self) -> QueueEntry:
         if not self.queue:
             raise SimulationError(f"worker {self.worker_id} popped an empty queue")
         entry = self.queue.popleft()
-        if entry.is_long:
-            self.long_entries -= 1
+        (self._long_seqs if entry.is_long else self._short_seqs).popleft()
         return entry
 
     @property
@@ -181,19 +201,21 @@ class Worker:
         return self.current_entry.job_class
 
     def steal_hint(self) -> bool:
-        """O(1) necessary condition for :meth:`eligible_steal_range`.
+        """O(1) test, exactly equivalent to ``eligible_steal_range() is
+        not None``.
 
-        True when a long entry sits ahead of at least one short entry —
-        the cluster-wide tally of this hint lets idle workers park instead
-        of polling when no steal can possibly succeed.
+        The Figure 3 rule needs a short entry *behind* a long one, counting
+        the entry occupying the slot: either some queued short has a queued
+        long ahead of it, or the slot holds a long and anything short is
+        queued.  The cluster-wide tally of this hint lets idle workers park
+        instead of polling when no steal can possibly succeed.
         """
-        queue_len = len(self.queue)
-        if queue_len == 0:
-            return False
-        if queue_len == self.long_entries:
+        shorts = self._short_seqs
+        if not shorts:
             return False  # nothing short to steal
-        if self.long_entries > 0:
-            return True
+        longs = self._long_seqs
+        if longs and shorts[-1] > longs[0]:
+            return True  # last short sits behind the first queued long
         return self.current_class is JobClass.LONG
 
     def eligible_steal_range(self) -> tuple[int, int] | None:
@@ -204,32 +226,46 @@ class Worker:
         currently occupying the slot).  Returns ``(start, stop)`` indices
         into the queue, or ``None`` when nothing is eligible.
         """
-        queue = self.queue
-        if not queue:
+        if not self.steal_hint():
             return None
-        executing_long = self.current_class is JobClass.LONG
-        # O(1) pre-checks: a steal needs a long ahead of a short somewhere.
-        if not executing_long and self.long_entries == 0:
-            return None
-        if self.long_entries == len(queue):
-            return None  # nothing short to steal
         return find_first_short_group(
-            executing_long, (entry.is_long for entry in queue)
+            self.current_class is JobClass.LONG,
+            (entry.is_long for entry in self.queue),
         )
 
     def remove_range(self, start: int, stop: int) -> list[QueueEntry]:
-        """Remove and return ``queue[start:stop]`` preserving order."""
-        if not 0 <= start <= stop <= len(self.queue):
+        """Remove and return ``queue[start:stop]`` preserving order.
+
+        Rotation-based so a steal costs O(stolen + start) instead of
+        rebuilding the whole queue.
+        """
+        queue = self.queue
+        if not 0 <= start <= stop <= len(queue):
             raise SimulationError(
                 f"invalid steal range [{start}, {stop}) for queue of "
-                f"length {len(self.queue)}"
+                f"length {len(queue)}"
             )
-        items = list(self.queue)
-        stolen = items[start:stop]
-        remaining = items[:start] + items[stop:]
-        self.queue = deque(remaining)
-        self.long_entries -= sum(1 for e in stolen if e.is_long)
+        if start == stop:
+            return []
+        queue.rotate(-start)
+        stolen = [queue.popleft() for _ in range(stop - start)]
+        queue.rotate(start)
+        self._drop_seqs(self._short_seqs, [e.seq for e in stolen if e.is_short])
+        self._drop_seqs(self._long_seqs, [e.seq for e in stolen if e.is_long])
         return stolen
+
+    @staticmethod
+    def _drop_seqs(seqs: deque[int], removed: list[int]) -> None:
+        """Drop a contiguous ascending run of values from a sorted deque."""
+        if not removed:
+            return
+        rotations = 0
+        while seqs[0] != removed[0]:
+            seqs.rotate(-1)
+            rotations += 1
+        for _ in removed:
+            seqs.popleft()
+        seqs.rotate(rotations)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         part = "short" if self.in_short_partition else "general"

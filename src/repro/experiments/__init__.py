@@ -16,18 +16,30 @@ from repro.experiments.config import (
     execute,
     sweep_sizes,
 )
+from repro.experiments.parallel import (
+    DiskCache,
+    SweepExecutor,
+    cache_key,
+    get_executor,
+    set_executor,
+)
 from repro.experiments.report import FigureResult, ascii_cdf, ascii_table
 from repro.experiments.runner import clear_cache, run_cached
 
 __all__ = [
+    "DiskCache",
     "FigureResult",
     "GOOGLE_UTILIZATION_TARGETS",
     "RunSpec",
+    "SweepExecutor",
     "ascii_cdf",
     "ascii_table",
     "build_engine",
+    "cache_key",
     "clear_cache",
     "execute",
+    "get_executor",
     "run_cached",
+    "set_executor",
     "sweep_sizes",
 ]

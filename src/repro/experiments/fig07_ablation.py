@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
+from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_cached
 from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
 from repro.metrics.comparison import normalized_percentile
 
@@ -33,15 +33,18 @@ def run(
         short_partition_fraction=google_short_fraction(),
         seed=seed,
     )
-    base = run_cached(base_spec, trace)
+    # One batch: full Hawk plus every ablation variant.
+    specs = [base_spec] + [base_spec.with_(scheduler=v) for v in VARIANTS]
+    base, *variant_results = get_executor().run_many(
+        [(spec, trace) for spec in specs]
+    )
 
     result = FigureResult(
         figure_id="Figure 7",
         title=f"Ablation normalized to full Hawk ({n} nodes)",
         headers=("variant", "short p50", "short p90", "long p50", "long p90"),
     )
-    for variant in VARIANTS:
-        res = run_cached(base_spec.with_(scheduler=variant), trace)
+    for variant, res in zip(VARIANTS, variant_results):
         result.add_row(
             variant,
             normalized_percentile(res, base, JobClass.SHORT, 50),

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
+from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_cached
 from repro.experiments.traces import google_short_fraction, google_trace
 from repro.metrics.comparison import normalized_percentile
 
@@ -39,6 +39,8 @@ def run(
             "short p90",
         ),
     )
+    # One batch: the Hawk/Sparrow pair at every cutoff.
+    pairs = []
     for cutoff in cutoffs:
         hawk = RunSpec(
             scheduler="hawk",
@@ -50,8 +52,10 @@ def run(
         sparrow = RunSpec(
             scheduler="sparrow", n_workers=n, cutoff=cutoff, seed=seed
         )
-        hawk_res = run_cached(hawk, trace)
-        sparrow_res = run_cached(sparrow, trace)
+        pairs.extend([(hawk, trace), (sparrow, trace)])
+    results = get_executor().run_many(pairs)
+    for i, cutoff in enumerate(cutoffs):
+        hawk_res, sparrow_res = results[2 * i], results[2 * i + 1]
         long_fraction = sum(
             1 for j in trace if j.is_long(cutoff)
         ) / len(trace)

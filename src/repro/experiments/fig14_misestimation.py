@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
+from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_cached
 from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
 from repro.metrics.comparison import normalized_percentile
 from repro.schedulers.estimator import UniformMisestimation
@@ -44,7 +44,28 @@ def run(
     cutoff = google_cutoff()
     n = high_load_size(trace, load_target)
     sparrow = RunSpec(scheduler="sparrow", n_workers=n, cutoff=cutoff, seed=seed)
-    sparrow_res = run_cached(sparrow, trace)
+
+    def hawk_spec(low: float, high: float, rep: int) -> RunSpec:
+        estimator = UniformMisestimation(low, high, seed=seed * 1000 + rep)
+        return RunSpec(
+            scheduler="hawk",
+            n_workers=n,
+            cutoff=cutoff,
+            short_partition_fraction=google_short_fraction(),
+            seed=seed + rep,
+            estimate=estimator,
+            estimate_tag=f"mis-{low:g}-{high:g}-{rep}",
+        )
+
+    # One batch: the Sparrow baseline plus every (range, repetition) run.
+    batch = [(sparrow, trace)]
+    batch += [
+        (hawk_spec(low, high, rep), trace)
+        for low, high in ranges
+        for rep in range(repetitions)
+    ]
+    sparrow_res, *hawk_results = get_executor().run_many(batch)
+    hawk_by_run = iter(hawk_results)
 
     result = FigureResult(
         figure_id="Figure 14",
@@ -63,17 +84,7 @@ def run(
     for low, high in ranges:
         ratios = {"l50": 0.0, "l90": 0.0, "s50": 0.0, "s90": 0.0}
         for rep in range(repetitions):
-            estimator = UniformMisestimation(low, high, seed=seed * 1000 + rep)
-            hawk = RunSpec(
-                scheduler="hawk",
-                n_workers=n,
-                cutoff=cutoff,
-                short_partition_fraction=google_short_fraction(),
-                seed=seed + rep,
-                estimate=estimator,
-                estimate_tag=f"mis-{low:g}-{high:g}-{rep}",
-            )
-            hawk_res = run_cached(hawk, trace)
+            hawk_res = next(hawk_by_run)
             # true_class is based on the correct estimate, so these are
             # the jobs "classified as long when no mis-estimations are
             # present" — exactly the paper's reporting population.

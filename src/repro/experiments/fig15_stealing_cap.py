@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
+from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_cached
 from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
 from repro.metrics.comparison import normalized_percentile
 
@@ -39,14 +39,17 @@ def run(
             steal_cap=cap,
         )
 
-    base = run_cached(spec(1), trace)
+    # One batch: cap=1 plus the whole sweep (the executor deduplicates
+    # the repeated cap=1 run).
+    base, *cap_results = get_executor().run_many(
+        [(spec(1), trace)] + [(spec(cap), trace) for cap in caps]
+    )
     result = FigureResult(
         figure_id="Figure 15",
         title=f"Steal-cap sensitivity normalized to cap=1 ({n} nodes)",
         headers=("cap", "short p50", "short p90", "steal success rate"),
     )
-    for cap in caps:
-        res = run_cached(spec(cap), trace)
+    for cap, res in zip(caps, cap_results):
         result.add_row(
             cap,
             normalized_percentile(res, base, JobClass.SHORT, 50),

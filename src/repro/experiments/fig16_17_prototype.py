@@ -20,8 +20,8 @@ from __future__ import annotations
 from repro.cluster.job import JobClass
 from repro.cluster.records import RunResult
 from repro.experiments.config import RunSpec
+from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_cached
 from repro.experiments.traces import google_short_fraction
 from repro.metrics.percentiles import percentile
 from repro.runtime import PrototypeCluster, PrototypeConfig
@@ -99,6 +99,7 @@ def run(
             scaled.trace, multiple * base_interarrival, seed=seed
         )
         runs: dict[str, RunResult] = {}
+        sim_batch = []
         for scheduler in ("sparrow", "hawk"):
             proto = PrototypeCluster(
                 PrototypeConfig(
@@ -120,7 +121,13 @@ def run(
                 estimate=classify_estimate,
                 estimate_tag="carried-classes",
             )
-            runs[f"sim-{scheduler}"] = run_cached(spec, trace)
+            sim_batch.append((spec, trace))
+        # classify_estimate is a closure, so the executor runs these
+        # in-process; the batch still flows through the two-tier cache.
+        for (spec, _), res in zip(
+            sim_batch, get_executor().run_many(sim_batch)
+        ):
+            runs[f"sim-{spec.scheduler}"] = res
         for system in ("implementation", "simulation"):
             prefix = "proto" if system == "implementation" else "sim"
             hawk = runs[f"{prefix}-hawk"]

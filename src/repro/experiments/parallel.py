@@ -1,0 +1,316 @@
+"""Parallel sweep execution with a two-tier persistent run cache.
+
+Every figure reduces to a batch of independent ``(RunSpec, trace)`` runs.
+:class:`SweepExecutor` materializes such batches, deduplicates them by a
+content-addressed cache key, satisfies what it can from its caches and
+fans the remaining runs out over a ``multiprocessing`` worker pool.
+
+Two cache tiers sit in front of execution:
+
+* an in-process memo (``dict``) giving object identity within a session —
+  the contract ``run_cached(spec, t) is run_cached(spec, t)`` that the
+  figure drivers and tests rely on;
+* an on-disk cache of pickled :class:`RunResult` values under
+  ``benchmarks/.runcache/v<N>/<key>.pkl``, shared across processes and
+  pytest sessions.
+
+The cache key is a content hash of the spec (every compared field,
+including ``estimate_tag``) and the *full* trace — job ids, submit times
+and exact per-task durations via :meth:`Trace.content_digest` — so two
+traces that merely share a name, length and rounded totals can never
+collide.  ``CACHE_VERSION`` is baked into both the key and the directory
+name: bump it whenever engine semantics change (event ordering, RNG
+streams, record fields) and every stale entry is invalidated at once.
+
+Knobs (also see ``src/repro/experiments/README.md``):
+
+* ``REPRO_EXECUTOR_WORKERS`` — worker-pool size; unset defaults to
+  ``os.cpu_count()``; ``0``/``1`` force the deterministic serial path.
+* ``REPRO_RUNCACHE`` — set to ``0`` to disable the on-disk tier.
+* ``REPRO_RUNCACHE_DIR`` — override the on-disk cache location.
+
+Runs are deterministic given (spec, trace): per-run RNG streams are
+seeded from the spec, so the parallel path returns bit-identical results
+to the serial one; serial execution additionally preserves today's
+submission ordering exactly.  Specs whose ``estimate`` callable cannot be
+pickled (e.g. closures) transparently fall back to in-process execution.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import fields
+from hashlib import blake2b
+from pathlib import Path
+from typing import Sequence
+
+from repro.cluster.records import RunResult
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import RunSpec, execute
+from repro.workloads.spec import Trace
+
+#: Bump to invalidate every persisted run at once (see module docstring).
+CACHE_VERSION = 1
+
+WORKERS_ENV = "REPRO_EXECUTOR_WORKERS"
+DISK_CACHE_ENV = "REPRO_RUNCACHE"
+DISK_CACHE_DIR_ENV = "REPRO_RUNCACHE_DIR"
+
+def _default_cache_dir() -> Path:
+    """``benchmarks/.runcache`` at the repo root for a src/ checkout.
+
+    When the package is installed elsewhere (site-packages), the
+    repo-root heuristic would point outside any repo, so fall back to a
+    per-user cache directory instead of creating stray directories.
+    """
+    root = Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / ".runcache"
+    return Path.home() / ".cache" / "repro-runcache"
+
+
+#: Default on-disk location (see :func:`_default_cache_dir`).
+DEFAULT_CACHE_DIR = _default_cache_dir()
+
+
+def spec_digest(spec: RunSpec) -> str:
+    """Canonical string of every compared RunSpec field.
+
+    ``estimate`` is excluded (callables have no stable content); as in
+    spec equality, ``estimate_tag`` is its cache-visible stand-in, so
+    specs carrying different estimators must carry different tags.
+    """
+    parts = [
+        f"{f.name}={getattr(spec, f.name)!r}"
+        for f in fields(spec)
+        if f.compare
+    ]
+    return ";".join(parts)
+
+
+def cache_key(spec: RunSpec, trace: Trace) -> str:
+    """Content hash identifying one run for both cache tiers."""
+    h = blake2b(digest_size=20)
+    h.update(f"v{CACHE_VERSION}|".encode())
+    h.update(spec_digest(spec).encode())
+    h.update(b"|")
+    h.update(trace.content_digest().encode())
+    return h.hexdigest()
+
+
+class DiskCache:
+    """Pickled RunResults under ``<root>/v<CACHE_VERSION>/<key>.pkl``."""
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root) / f"v{CACHE_VERSION}"
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> RunResult | None:
+        try:
+            with open(self.path(key), "rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # Missing, truncated or otherwise unreadable entries are
+            # plain misses; the run is recomputed and the entry rewritten.
+            return None
+        return result if isinstance(result, RunResult) else None
+
+    def store(self, key: str, result: RunResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path(key)
+        # Write-then-rename keeps concurrent readers/writers safe: a
+        # reader never observes a partially written pickle.
+        tmp = final.with_name(f"{final.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, final)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Delete this version's entries; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.pkl"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def _pool_size_from_env() -> int:
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or raw.strip() == "":
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, value)
+
+
+def _disk_cache_from_env() -> DiskCache | None:
+    if os.environ.get(DISK_CACHE_ENV, "1").strip() in ("0", "off", "no"):
+        return None
+    return DiskCache(os.environ.get(DISK_CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def _execute_keyed(key: str, spec: RunSpec, trace: Trace):
+    """Pool-side worker: run one experiment, echoing its cache key."""
+    return key, execute(spec, trace)
+
+
+def _transportable(spec: RunSpec) -> bool:
+    """Can this spec cross a process boundary?
+
+    Only the ``estimate`` callable can be unpicklable (lambdas/closures,
+    e.g. the Figure 16-17 classification carrier); everything else in a
+    (spec, trace) pair is plain data.
+    """
+    if spec.estimate is None:
+        return True
+    try:
+        pickle.dumps(spec.estimate)
+    except Exception:
+        return False
+    return True
+
+
+class SweepExecutor:
+    """Batch runner for independent (RunSpec, trace) experiments.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-pool size.  ``None`` reads ``REPRO_EXECUTOR_WORKERS`` and
+        falls back to ``os.cpu_count()``.  ``<= 1`` selects the serial
+        path, which executes cache misses in submission order in this
+        process — bit-identical to the historical one-by-one loop.
+    disk_cache:
+        A :class:`DiskCache`, ``None`` to disable the persistent tier, or
+        the string ``"env"`` (default) to honor the ``REPRO_RUNCACHE*``
+        environment variables.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        disk_cache: DiskCache | None | str = "env",
+    ) -> None:
+        self.max_workers = (
+            _pool_size_from_env() if max_workers is None else max(1, max_workers)
+        )
+        self.disk_cache = (
+            _disk_cache_from_env() if disk_cache == "env" else disk_cache
+        )
+        self._memo: dict[str, RunResult] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        # Observability counters (read by tests and the benchmark).
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.executions = 0
+
+    # -- cache management ----------------------------------------------
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    def clear_memo(self) -> None:
+        self._memo.clear()
+
+    def close(self) -> None:
+        """Shut down the worker pool (caches stay intact)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _record(self, key: str, result: RunResult, persist: bool) -> None:
+        self._memo[key] = result
+        if persist and self.disk_cache is not None:
+            self.disk_cache.store(key, result)
+
+    # -- execution ------------------------------------------------------
+    def run_one(self, spec: RunSpec, trace: Trace) -> RunResult:
+        return self.run_many([(spec, trace)])[0]
+
+    def run_many(
+        self, pairs: Sequence[tuple[RunSpec, Trace]]
+    ) -> list[RunResult]:
+        """Run a batch, returning results in submission order.
+
+        Duplicate submissions (same cache key) execute once.  Results for
+        a given key are identical objects within a session.
+        """
+        keys = [cache_key(spec, trace) for spec, trace in pairs]
+        missing: dict[str, tuple[RunSpec, Trace]] = {}
+        for key, pair in zip(keys, pairs):
+            if key in missing:
+                continue
+            if key in self._memo:
+                self.memo_hits += 1
+                continue
+            if self.disk_cache is not None:
+                result = self.disk_cache.load(key)
+                if result is not None:
+                    self.disk_hits += 1
+                    self._memo[key] = result
+                    continue
+            missing[key] = pair
+        if missing:
+            self._execute_missing(missing)
+        return [self._memo[key] for key in keys]
+
+    def _execute_missing(
+        self, missing: dict[str, tuple[RunSpec, Trace]]
+    ) -> None:
+        local = list(missing.items())
+        if self.max_workers > 1 and len(local) > 1:
+            remote = [item for item in local if _transportable(item[1][0])]
+            if len(remote) > 1:
+                remote_keys = {key for key, _ in remote}
+                local = [item for item in local if item[0] not in remote_keys]
+                self._fan_out(remote)
+        for key, (spec, trace) in local:
+            self.executions += 1
+            self._record(key, execute(spec, trace), persist=True)
+
+    def _fan_out(self, items: list[tuple[str, tuple[RunSpec, Trace]]]) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        futures = [
+            self._pool.submit(_execute_keyed, key, spec, trace)
+            for key, (spec, trace) in items
+        ]
+        for future in futures:
+            key, result = future.result()
+            self.executions += 1
+            self._record(key, result, persist=True)
+
+
+# -- module-level default executor -------------------------------------
+_default_executor: SweepExecutor | None = None
+
+
+def get_executor() -> SweepExecutor:
+    """The process-wide executor used by ``run_cached`` and ``sweep``."""
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = SweepExecutor()
+    return _default_executor
+
+
+def set_executor(executor: SweepExecutor | None) -> SweepExecutor | None:
+    """Swap the default executor; returns the previous one.
+
+    Pass ``None`` to force re-creation from the environment on next use
+    (tests use this to inject isolated cache directories).
+    """
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous

@@ -1,45 +1,37 @@
-"""Process-wide run cache.
+"""Process-wide run cache, backed by the sweep executor.
 
 Several figures reuse identical runs (e.g. the Hawk sweep appears in
 Figures 5, 8-9 and 10-11).  Runs are deterministic given (spec, trace),
-so a process-wide memo avoids recomputing them when multiple benchmarks
-execute in one pytest session.
+so results are memoized — in-process for object identity within a
+session, and on disk so repeated figure regenerations across pytest
+sessions skip the simulation entirely (see
+:mod:`repro.experiments.parallel` for the cache layout, keying and
+invalidation rules).
+
+Runs are keyed on a content hash of the spec and the *full* trace: job
+ids, submit times and exact per-task durations.  Earlier revisions keyed
+traces on (name, length, rounded totals), which silently shared a cached
+``RunResult`` between same-shape traces that differed only in per-job
+durations.
 """
 
 from __future__ import annotations
 
 from repro.cluster.records import RunResult
-from repro.experiments.config import RunSpec, execute
+from repro.experiments.config import RunSpec
+from repro.experiments.parallel import get_executor
 from repro.workloads.spec import Trace
-
-_CACHE: dict[tuple, RunResult] = {}
-
-
-def _trace_key(trace: Trace) -> tuple:
-    # horizon + first submit distinguish re-drawn arrival processes on
-    # otherwise identical job sets (e.g. the Figure 16-17 load sweep).
-    return (
-        trace.name,
-        len(trace),
-        round(trace.total_task_seconds, 6),
-        round(trace.horizon, 9),
-        round(trace[0].submit_time, 9),
-    )
 
 
 def run_cached(spec: RunSpec, trace: Trace) -> RunResult:
-    """Run an experiment, memoizing on (spec, trace identity)."""
-    key = (spec, _trace_key(trace))
-    result = _CACHE.get(key)
-    if result is None:
-        result = execute(spec, trace)
-        _CACHE[key] = result
-    return result
+    """Run one experiment through the executor's two-tier cache."""
+    return get_executor().run_one(spec, trace)
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-process memo (the on-disk tier is left intact)."""
+    get_executor().clear_memo()
 
 
 def cache_size() -> int:
-    return len(_CACHE)
+    return get_executor().memo_size()

@@ -3,6 +3,11 @@
 Figures 5, 6, 8-9 and 10-11 all have the same skeleton: run a candidate
 scheduler and a baseline over a range of cluster sizes on one trace, and
 report candidate-normalized-to-baseline percentile runtimes per job class.
+
+All runs of a sweep are submitted as one batch to the
+:class:`~repro.experiments.parallel.SweepExecutor`, which deduplicates
+them against the two-tier run cache and fans cache misses out over a
+worker pool.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from dataclasses import dataclass
 from repro.cluster.job import JobClass
 from repro.cluster.records import RunResult
 from repro.experiments.config import RunSpec
-from repro.experiments.runner import run_cached
+from repro.experiments.parallel import SweepExecutor, get_executor
 from repro.metrics.comparison import (
     average_runtime_ratio,
     fraction_improved,
@@ -35,14 +40,9 @@ class SweepPoint:
     baseline: RunResult
 
 
-def compare_at_size(
-    trace: Trace,
-    n_workers: int,
-    candidate_spec: RunSpec,
-    baseline_spec: RunSpec,
+def _build_point(
+    n_workers: int, candidate: RunResult, baseline: RunResult
 ) -> SweepPoint:
-    candidate = run_cached(candidate_spec.with_(n_workers=n_workers), trace)
-    baseline = run_cached(baseline_spec.with_(n_workers=n_workers), trace)
     return SweepPoint(
         n_workers=n_workers,
         baseline_median_utilization=baseline.median_utilization(),
@@ -59,15 +59,45 @@ def compare_at_size(
     )
 
 
+def compare_at_size(
+    trace: Trace,
+    n_workers: int,
+    candidate_spec: RunSpec,
+    baseline_spec: RunSpec,
+    executor: SweepExecutor | None = None,
+) -> SweepPoint:
+    executor = executor or get_executor()
+    candidate, baseline = executor.run_many(
+        [
+            (candidate_spec.with_(n_workers=n_workers), trace),
+            (baseline_spec.with_(n_workers=n_workers), trace),
+        ]
+    )
+    return _build_point(n_workers, candidate, baseline)
+
+
 def sweep(
     trace: Trace,
     sizes,
     candidate_spec: RunSpec,
     baseline_spec: RunSpec,
+    executor: SweepExecutor | None = None,
 ) -> list[SweepPoint]:
-    """Compare the two schedulers at every cluster size."""
+    """Compare the two schedulers at every cluster size.
+
+    The whole sweep — candidate and baseline at every size — is one
+    executor batch, so independent runs execute concurrently when the
+    pool has more than one worker.
+    """
+    executor = executor or get_executor()
+    pairs: list[tuple[RunSpec, Trace]] = []
+    for n in sizes:
+        pairs.append((candidate_spec.with_(n_workers=n), trace))
+        pairs.append((baseline_spec.with_(n_workers=n), trace))
+    results = executor.run_many(pairs)
     return [
-        compare_at_size(trace, n, candidate_spec, baseline_spec) for n in sizes
+        _build_point(n, results[2 * i], results[2 * i + 1])
+        for i, n in enumerate(sizes)
     ]
 
 

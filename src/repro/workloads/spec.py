@@ -6,7 +6,9 @@ The simulator's input format follows Section 4.1: tuples of
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.errors import ConfigurationError
@@ -57,6 +59,7 @@ class Trace(Sequence[JobSpec]):
         if not self._jobs:
             raise ConfigurationError("a trace needs at least one job")
         self.name = name
+        self._digest: str | None = None
 
     # Sequence protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -97,6 +100,30 @@ class Trace(Sequence[JobSpec]):
         if self.horizon == 0:
             return float(self.total_task_seconds)
         return self.total_task_seconds / self.horizon
+
+    def content_digest(self) -> str:
+        """Stable hash of the full trace content.
+
+        Covers every job id, submit time and per-task duration (exact IEEE
+        bit patterns, not rounded summaries), so two traces share a digest
+        iff a run over them is guaranteed to produce the same result.  The
+        name is deliberately excluded: the engine never reads it, so
+        renamed copies of the same workload share cached runs.  Computed
+        once and memoized (jobs are immutable after construction).
+        """
+        if self._digest is None:
+            h = blake2b(digest_size=20)
+            for job in self._jobs:
+                # The task count delimits the variable-length duration
+                # block, keeping the byte stream unambiguous.
+                h.update(
+                    struct.pack("<qdq", job.job_id, job.submit_time, job.num_tasks)
+                )
+                h.update(
+                    struct.pack(f"<{len(job.task_durations)}d", *job.task_durations)
+                )
+            self._digest = h.hexdigest()
+        return self._digest
 
     def subset(self, n_jobs: int, name: str | None = None) -> "Trace":
         """First ``n_jobs`` jobs by submission order (the paper's 3300-job

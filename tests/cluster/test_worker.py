@@ -89,6 +89,30 @@ def test_remove_range_invalid_bounds_raise():
         w.remove_range(0, 5)
 
 
+def test_remove_range_empty_slice_is_noop():
+    entries = [short_entry(), long_entry()]
+    w = worker_with(entries)
+    assert w.remove_range(1, 1) == []
+    assert list(w.queue) == entries
+    assert w.long_entries == 1
+
+
+@pytest.mark.parametrize("start, stop", [(0, 2), (1, 4), (2, 5), (0, 5), (3, 3)])
+def test_remove_range_matches_list_slicing(start, stop):
+    entries = [
+        long_entry(), short_entry(), short_entry(), long_entry(), short_entry()
+    ]
+    w = worker_with(entries)
+    removed = w.remove_range(start, stop)
+    assert removed == entries[start:stop]
+    assert list(w.queue) == entries[:start] + entries[stop:]
+    assert w.long_entries == sum(
+        1 for e in entries[:start] + entries[stop:] if e.is_long
+    )
+    # bookkeeping stays consistent for subsequent steals
+    assert w.steal_hint() is (w.eligible_steal_range() is not None)
+
+
 def test_entry_class_flags():
     assert short_entry().is_short and not short_entry().is_long
     assert long_entry().is_long and not long_entry().is_short
@@ -159,7 +183,7 @@ def test_eligible_range_waiting_probe_counts_as_current():
     assert w.eligible_steal_range() == (0, 1)
 
 
-# -- steal_hint (O(1) necessary condition) -------------------------------
+# -- steal_hint (O(1), exact) --------------------------------------------
 def test_steal_hint_false_when_empty():
     assert Worker(0, False).steal_hint() is False
 
@@ -179,16 +203,36 @@ def test_steal_hint_false_short_on_short():
     assert w.steal_hint() is False
 
 
-def test_steal_hint_never_misses_eligible_range():
-    """hint == False must imply no eligible range (necessary condition)."""
+def test_steal_hint_false_when_shorts_only_ahead_of_long():
+    """Regression: ``[short, long]`` with a short (or idle) slot has no
+    stealable group — the Figure 3 rule needs a short *behind* a long —
+    but the old ``long_entries > 0`` hint reported one, keeping
+    ``cluster.steal_hint_count`` stuck above zero so idle workers burned
+    backoff-retry events forever instead of parking."""
+    w = worker_with([short_entry(), long_entry()], current=short_entry())
+    assert w.eligible_steal_range() is None
+    assert w.steal_hint() is False
+
+    idle = worker_with([short_entry(), long_entry()])
+    assert idle.eligible_steal_range() is None
+    assert idle.steal_hint() is False
+
+
+def test_steal_hint_iff_eligible_range_exhaustive():
+    """hint is True exactly when an eligible range exists (both ways)."""
     import itertools
 
-    for current_long in (True, False):
-        for flags in itertools.product([True, False], repeat=4):
-            w = Worker(0, False)
-            for is_long in flags:
-                w.enqueue(long_entry() if is_long else short_entry())
-            w.current_entry = long_entry() if current_long else short_entry()
-            w.state = WorkerState.BUSY
-            if w.eligible_steal_range() is not None:
-                assert w.steal_hint() is True
+    for current_long in (True, False, None):
+        for n in range(5):
+            for flags in itertools.product([True, False], repeat=n):
+                w = Worker(0, False)
+                for is_long in flags:
+                    w.enqueue(long_entry() if is_long else short_entry())
+                if current_long is not None:
+                    w.current_entry = (
+                        long_entry() if current_long else short_entry()
+                    )
+                    w.state = WorkerState.BUSY
+                assert w.steal_hint() is (
+                    w.eligible_steal_range() is not None
+                ), (current_long, flags)

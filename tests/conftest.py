@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import Cluster, ClusterEngine, EngineConfig
+from repro.experiments.parallel import DiskCache, SweepExecutor, set_executor
 from repro.schedulers import (
     CentralizedScheduler,
     HawkScheduler,
@@ -17,6 +18,22 @@ from repro.workloads.spec import JobSpec, Trace
 #: Cutoff used by the hand-built test traces: tasks of 10 s are short,
 #: tasks of 1000 s are long.
 TEST_CUTOFF = 100.0
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_default_executor(tmp_path_factory):
+    """Point the default executor at a throwaway disk cache.
+
+    Unit tests assert behavior of the code under test; serving them
+    stale results from the developer's persistent ``benchmarks/.runcache``
+    (written by a *previous* revision of the engine) could mask
+    regressions.  The benchmark harness, by contrast, keeps the
+    persistent cache on purpose — cross-session reuse is the feature.
+    """
+    cache_dir = tmp_path_factory.mktemp("runcache")
+    previous = set_executor(SweepExecutor(disk_cache=DiskCache(cache_dir)))
+    yield
+    set_executor(previous)
 
 
 def job(job_id: int, submit: float, *durations: float) -> JobSpec:

@@ -1,0 +1,188 @@
+"""Tests for the sweep executor and the two-tier run cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import RunSpec
+from repro.experiments.parallel import (
+    CACHE_VERSION,
+    DiskCache,
+    SweepExecutor,
+    cache_key,
+    set_executor,
+)
+from repro.experiments.runner import run_cached
+from repro.experiments.sweeps import sweep
+from repro.workloads.spec import JobSpec, Trace
+from tests.conftest import TEST_CUTOFF, long_job, short_job
+
+SPEC = RunSpec(scheduler="sparrow", n_workers=4, cutoff=TEST_CUTOFF)
+
+
+def small_trace(name="cache-small"):
+    jobs = [long_job(0, 0.0, 3)] + [short_job(i, float(i)) for i in range(1, 5)]
+    return Trace(jobs, name=name)
+
+
+@pytest.fixture
+def executor(tmp_path):
+    """A serial executor with an isolated on-disk cache."""
+    return SweepExecutor(max_workers=1, disk_cache=DiskCache(tmp_path))
+
+
+# -- cache keying ------------------------------------------------------------
+def test_same_shape_different_durations_get_distinct_results(executor):
+    """Regression: the old (name, len, rounded totals) trace key collided.
+
+    Both traces have the same name, job count, total task-seconds,
+    horizon and first submit time; only the per-job durations differ.
+    """
+    a = Trace(
+        [JobSpec(0, 0.0, (10.0, 30.0)), JobSpec(1, 5.0, (20.0,))], name="twin"
+    )
+    b = Trace(
+        [JobSpec(0, 0.0, (20.0, 20.0)), JobSpec(1, 5.0, (20.0,))], name="twin"
+    )
+    assert a.total_task_seconds == b.total_task_seconds
+    assert a.horizon == b.horizon and len(a) == len(b)
+    assert cache_key(SPEC, a) != cache_key(SPEC, b)
+    res_a = executor.run_one(SPEC, a)
+    res_b = executor.run_one(SPEC, b)
+    assert executor.executions == 2  # no silent sharing
+    assert res_a != res_b
+
+
+def test_trace_digest_ignores_name_but_not_content():
+    a = small_trace("one")
+    b = small_trace("two")
+    assert a.content_digest() == b.content_digest()
+    c = Trace(list(a) + [short_job(99, 50.0)], name="one")
+    assert c.content_digest() != a.content_digest()
+
+
+def test_cache_key_distinguishes_specs_and_estimate_tags():
+    trace = small_trace()
+    assert cache_key(SPEC, trace) != cache_key(SPEC.with_(n_workers=5), trace)
+    assert cache_key(SPEC, trace) != cache_key(
+        SPEC.with_(estimate=lambda s: 1.0, estimate_tag="other"), trace
+    )
+
+
+# -- executor behaviour ------------------------------------------------------
+def test_duplicate_submissions_execute_once(executor):
+    trace = small_trace()
+    results = executor.run_many([(SPEC, trace), (SPEC, trace)])
+    assert executor.executions == 1
+    assert results[0] is results[1]
+
+
+def test_parallel_and_serial_results_identical(tmp_path):
+    """parallel=N must be bit-identical to the serial path."""
+    trace = small_trace()
+    hawk = RunSpec(
+        scheduler="hawk",
+        n_workers=1,
+        cutoff=TEST_CUTOFF,
+        short_partition_fraction=0.25,
+    )
+    sparrow = RunSpec(scheduler="sparrow", n_workers=1, cutoff=TEST_CUTOFF)
+    serial = SweepExecutor(max_workers=1, disk_cache=None)
+    parallel = SweepExecutor(max_workers=2, disk_cache=None)
+    try:
+        points_serial = sweep(trace, (4, 6), hawk, sparrow, executor=serial)
+        points_parallel = sweep(trace, (4, 6), hawk, sparrow, executor=parallel)
+    finally:
+        parallel.close()
+    assert parallel.executions == 4
+    assert points_serial == points_parallel  # full RunResult equality
+
+
+def test_unpicklable_estimate_falls_back_to_in_process(tmp_path):
+    """Closure estimators cannot cross the pool; they still execute."""
+    trace = small_trace()
+    specs = [
+        SPEC.with_(estimate=lambda s, k=k: 10.0 * (k + 1), estimate_tag=f"c{k}")
+        for k in range(2)
+    ]
+    executor = SweepExecutor(max_workers=2, disk_cache=None)
+    try:
+        results = executor.run_many([(s, trace) for s in specs])
+    finally:
+        executor.close()
+    assert executor.executions == 2
+    assert all(len(r.jobs) == len(trace) for r in results)
+
+
+# -- the persistent tier -----------------------------------------------------
+def test_disk_cache_survives_new_executor(tmp_path):
+    trace = small_trace()
+    first = SweepExecutor(max_workers=1, disk_cache=DiskCache(tmp_path))
+    res = first.run_one(SPEC, trace)
+    assert (first.executions, first.disk_hits) == (1, 0)
+
+    second = SweepExecutor(max_workers=1, disk_cache=DiskCache(tmp_path))
+    loaded = second.run_one(SPEC, trace)
+    assert (second.executions, second.disk_hits) == (0, 1)
+    assert loaded == res  # value-identical across "sessions"
+    # and memoized for identity within the new session
+    assert second.run_one(SPEC, trace) is loaded
+
+
+def test_disk_cache_version_partitioning(tmp_path):
+    cache = DiskCache(tmp_path)
+    assert cache.root.name == f"v{CACHE_VERSION}"
+
+
+def test_corrupt_disk_entry_is_recomputed(tmp_path):
+    trace = small_trace()
+    cache = DiskCache(tmp_path)
+    first = SweepExecutor(max_workers=1, disk_cache=cache)
+    res = first.run_one(SPEC, trace)
+    path = cache.path(cache_key(SPEC, trace))
+    assert path.is_file()
+    path.write_bytes(b"not a pickle")
+
+    second = SweepExecutor(max_workers=1, disk_cache=cache)
+    recomputed = second.run_one(SPEC, trace)
+    assert (second.executions, second.disk_hits) == (1, 0)
+    assert recomputed == res
+
+
+def test_disk_cache_clear(tmp_path):
+    cache = DiskCache(tmp_path)
+    executor = SweepExecutor(max_workers=1, disk_cache=cache)
+    executor.run_one(SPEC, small_trace())
+    assert cache.clear() == 1
+    assert cache.load(cache_key(SPEC, small_trace())) is None
+
+
+def test_run_results_pickle_round_trip(executor):
+    """Cluster records must be picklable for the pool and the disk tier."""
+    res = executor.run_one(
+        RunSpec(
+            scheduler="hawk",
+            n_workers=4,
+            cutoff=TEST_CUTOFF,
+            short_partition_fraction=0.25,
+        ),
+        small_trace(),
+    )
+    clone = pickle.loads(pickle.dumps(res))
+    assert clone == res
+    assert clone.stealing == res.stealing
+    assert clone.median_utilization() == res.median_utilization()
+
+
+# -- default-executor plumbing ----------------------------------------------
+def test_run_cached_uses_default_executor(tmp_path):
+    injected = SweepExecutor(max_workers=1, disk_cache=DiskCache(tmp_path))
+    previous = set_executor(injected)
+    try:
+        trace = small_trace()
+        a = run_cached(SPEC, trace)
+        b = run_cached(SPEC, trace)
+        assert a is b
+        assert injected.executions == 1
+    finally:
+        set_executor(previous)

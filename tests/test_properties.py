@@ -8,7 +8,9 @@ import pytest
 from hypothesis import given, settings
 
 from repro.cluster import Cluster, ClusterEngine, EngineConfig
-from repro.cluster.worker import find_first_short_group
+from repro.cluster.job import Job, JobClass
+from repro.cluster.worker import ProbeEntry, Worker, WorkerState, find_first_short_group
+from repro.schedulers.frontend import ProbeFrontend
 from repro.core import Simulation
 from repro.core.rng import make_rng, sample_without_replacement, spread_sample
 from repro.metrics.percentiles import percentile
@@ -57,6 +59,84 @@ def test_scan_first_group_is_earliest(flags):
         # no short entry before `start` (executing is long, so every
         # earlier short would itself have been eligible)
         assert all(flags[:start])
+
+
+# -- steal hint vs eligibility ------------------------------------------------
+
+_next_job_id = iter(range(10**9))
+
+
+def _entry(is_long: bool) -> ProbeEntry:
+    duration = 1000.0 if is_long else 10.0
+    job = Job(next(_next_job_id), 0.0, (duration,), duration, cutoff=100.0)
+    return ProbeEntry(job, ProbeFrontend(job))
+
+
+def _model_hint(current_long: bool, flags: list[bool]) -> bool:
+    """Reference implementation: a short sits behind a long (slot counts)."""
+    seen_long = current_long
+    for is_long in flags:
+        if is_long:
+            seen_long = True
+        elif seen_long:
+            return True
+    return False
+
+
+_worker_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), st.booleans()),
+        st.tuples(st.just("enqueue_front"), st.lists(st.booleans(), max_size=3)),
+        st.just(("pop",)),
+        st.just(("finish",)),
+        st.just(("steal",)),
+    ),
+    max_size=40,
+)
+
+
+@given(_worker_ops)
+def test_steal_hint_iff_eligible_under_any_op_sequence(ops):
+    """After any queue/slot history, ``steal_hint()`` is True exactly when
+    ``eligible_steal_range()`` finds a group, and both agree with a plain
+    list model of the queue."""
+    w = Worker(0, in_short_partition=False)
+    model: list[bool] = []  # is_long per queued entry
+    current: bool | None = None  # slot class, None when idle
+    for op in ops:
+        if op[0] == "enqueue":
+            w.enqueue(_entry(op[1]))
+            model.append(op[1])
+        elif op[0] == "enqueue_front":
+            entries = [_entry(f) for f in op[1]]
+            w.enqueue_front(entries)
+            model[:0] = list(op[1])
+        elif op[0] == "pop":
+            if model:
+                entry = w.pop_next()
+                assert entry.is_long == model.pop(0)
+                # the engine moves popped entries into the slot
+                w.current_entry = entry
+                w.state = WorkerState.BUSY
+                current = entry.is_long
+        elif op[0] == "finish":
+            w.current_entry = None
+            w.state = WorkerState.IDLE
+            current = None
+        elif op[0] == "steal":
+            span = w.eligible_steal_range()
+            assert span == find_first_short_group(
+                current is True, model
+            )
+            if span is not None:
+                stolen = w.remove_range(*span)
+                assert all(e.is_short for e in stolen)
+                del model[span[0] : span[1]]
+        # Invariants hold after every operation.
+        assert [e.is_long for e in w.queue] == model
+        assert w.long_entries == sum(model)
+        assert w.steal_hint() is _model_hint(current is True, model)
+        assert w.steal_hint() is (w.eligible_steal_range() is not None)
 
 
 # -- simulation ordering ------------------------------------------------------
