@@ -21,17 +21,21 @@ from repro.experiments.parallel import (
     SweepExecutor,
     cache_key,
     get_executor,
+    replica_pairs,
     set_executor,
 )
 from repro.experiments.report import FigureResult, ascii_cdf, ascii_table
-from repro.experiments.runner import clear_cache, run_cached
+from repro.experiments.runner import clear_cache, run_cached, run_replicated
+from repro.experiments.sweeps import ReplicatedPoint, SweepPoint, sweep
 
 __all__ = [
     "DiskCache",
     "FigureResult",
     "GOOGLE_UTILIZATION_TARGETS",
+    "ReplicatedPoint",
     "RunSpec",
     "SweepExecutor",
+    "SweepPoint",
     "ascii_cdf",
     "ascii_table",
     "build_engine",
@@ -39,7 +43,10 @@ __all__ = [
     "clear_cache",
     "execute",
     "get_executor",
+    "replica_pairs",
     "run_cached",
+    "run_replicated",
     "set_executor",
+    "sweep",
     "sweep_sizes",
 ]

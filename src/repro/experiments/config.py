@@ -15,6 +15,7 @@ from repro.schedulers import (
     SplitScheduler,
     WorkStealing,
 )
+from repro.workloads.replication import replica_seeds
 from repro.workloads.spec import Trace
 
 #: Offered-load points for cluster-size sweeps, expressed as offered
@@ -71,6 +72,18 @@ class RunSpec:
 
     def with_(self, **changes) -> "RunSpec":
         return replace(self, **changes)
+
+    def replicas(self, n_seeds: int) -> tuple["RunSpec", ...]:
+        """The spec's seed-replica family: seeds ``seed .. seed+n-1``.
+
+        Replica 0 is the spec itself, so ``spec.replicas(1) == (spec,)``
+        and the single-seed path is unchanged.  Engine RNG streams are
+        derived from the seed (see :mod:`repro.core.rng`), so each
+        replica is an independent draw of every stochastic mechanism —
+        probe sampling, stealing victims, estimator noise.
+        """
+        seeds = replica_seeds(self.seed, n_seeds)
+        return (self,) + tuple(self.with_(seed=s) for s in seeds[1:])
 
 
 def build_engine(spec: RunSpec) -> ClusterEngine:

@@ -17,13 +17,19 @@ from repro.experiments.config import (
 )
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import extra_metrics, sweep
-from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.experiments.traces import (
+    google_cutoff,
+    google_short_fraction,
+    google_trace,
+    google_trace_factory,
+)
 
 
 def run(
     scale: str = "full",
     seed: int = 0,
     utilization_targets=GOOGLE_UTILIZATION_TARGETS,
+    n_seeds: int = 1,
 ) -> FigureResult:
     trace = google_trace(scale, seed)
     cutoff = google_cutoff()
@@ -36,7 +42,14 @@ def run(
         seed=seed,
     )
     sparrow = RunSpec(scheduler="sparrow", n_workers=1, cutoff=cutoff, seed=seed)
-    points = sweep(trace, sizes, hawk, sparrow)
+    points = sweep(
+        trace,
+        sizes,
+        hawk,
+        sparrow,
+        n_seeds=n_seeds,
+        trace_factory=google_trace_factory(scale),
+    )
 
     result = FigureResult(
         figure_id="Figure 5",
@@ -59,11 +72,11 @@ def run(
         frac_l, avg_l = extra_metrics(point, JobClass.LONG)
         result.add_row(
             point.n_workers,
-            point.baseline_median_utilization,
-            point.short_p50_ratio,
-            point.short_p90_ratio,
-            point.long_p50_ratio,
-            point.long_p90_ratio,
+            point.cell("baseline_median_utilization"),
+            point.cell("short_p50_ratio"),
+            point.cell("short_p90_ratio"),
+            point.cell("long_p50_ratio"),
+            point.cell("long_p90_ratio"),
             frac_s,
             avg_s,
             frac_l,
@@ -73,4 +86,9 @@ def run(
         "ratios < 1 favor Hawk; the paper reports up to 0.2/0.1 for short "
         "p50/p90 and 0.65/0.9 for long p50/p90, peaking at high load"
     )
+    if n_seeds > 1:
+        result.add_note(
+            f"aggregated over {n_seeds} matched seed replicas; "
+            "ratio cells are mean±95% CI half-width"
+        )
     return result

@@ -11,13 +11,18 @@ from __future__ import annotations
 from repro.experiments.config import GOOGLE_UTILIZATION_TARGETS, RunSpec, sweep_sizes
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import sweep
-from repro.experiments.traces import ALL_WORKLOAD_SPECS, kmeans_workload_trace
+from repro.experiments.traces import (
+    ALL_WORKLOAD_SPECS,
+    kmeans_trace_factory,
+    kmeans_workload_trace,
+)
 
 
 def run(
     scale: str = "full",
     seed: int = 0,
     utilization_targets=GOOGLE_UTILIZATION_TARGETS,
+    n_seeds: int = 1,
 ) -> FigureResult:
     result = FigureResult(
         figure_id="Figure 6",
@@ -45,18 +50,31 @@ def run(
         sparrow = RunSpec(
             scheduler="sparrow", n_workers=1, cutoff=spec.cutoff, seed=seed
         )
-        for point in sweep(trace, sizes, hawk, sparrow):
+        points = sweep(
+            trace,
+            sizes,
+            hawk,
+            sparrow,
+            n_seeds=n_seeds,
+            trace_factory=kmeans_trace_factory(spec, scale),
+        )
+        for point in points:
             result.add_row(
                 spec.name,
                 point.n_workers,
-                point.baseline_median_utilization,
-                point.short_p90_ratio,
-                point.long_p90_ratio,
-                point.short_p50_ratio,
-                point.long_p50_ratio,
+                point.cell("baseline_median_utilization"),
+                point.cell("short_p90_ratio"),
+                point.cell("long_p90_ratio"),
+                point.cell("short_p50_ratio"),
+                point.cell("long_p50_ratio"),
             )
     result.add_note(
         "the paper plots p90 only (its Figure 6); p50 columns correspond "
         "to its in-text remark that Hawk also improves the median"
     )
+    if n_seeds > 1:
+        result.add_note(
+            f"aggregated over {n_seeds} matched seed replicas; "
+            "ratio cells are mean±95% CI half-width"
+        )
     return result

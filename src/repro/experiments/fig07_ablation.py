@@ -14,14 +14,24 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
 from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.experiments.traces import (
+    google_cutoff,
+    google_short_fraction,
+    google_trace,
+    google_trace_factory,
+)
 from repro.metrics.comparison import normalized_percentile
+from repro.metrics.stats import paired_cell
+from repro.workloads.replication import replica_seeds
 
 VARIANTS = ("hawk-no-centralized", "hawk-no-partition", "hawk-no-stealing")
 
 
 def run(
-    scale: str = "full", seed: int = 0, load_target: float = HIGH_LOAD_TARGET
+    scale: str = "full",
+    seed: int = 0,
+    load_target: float = HIGH_LOAD_TARGET,
+    n_seeds: int = 1,
 ) -> FigureResult:
     trace = google_trace(scale, seed)
     cutoff = google_cutoff()
@@ -33,24 +43,53 @@ def run(
         short_partition_fraction=google_short_fraction(),
         seed=seed,
     )
-    # One batch: full Hawk plus every ablation variant.
-    specs = [base_spec] + [base_spec.with_(scheduler=v) for v in VARIANTS]
-    base, *variant_results = get_executor().run_many(
-        [(spec, trace) for spec in specs]
-    )
+    # One batch: full Hawk plus every ablation variant, per replica seed.
+    # Each replica's variants normalize to the same replica's full Hawk
+    # (matched seeds and trace draw), so per-replica ratios pair up.
+    factory = google_trace_factory(scale)
+    seeds = replica_seeds(seed, n_seeds)
+    batch = []
+    for r, s in enumerate(seeds):
+        replica_trace = trace if r == 0 else factory(s)
+        replica_base = base_spec.with_(seed=s)
+        batch.append((replica_base, replica_trace))
+        batch.extend(
+            (replica_base.with_(scheduler=v), replica_trace) for v in VARIANTS
+        )
+    results = get_executor().run_many(batch)
+    stride = 1 + len(VARIANTS)
+    bases = [results[r * stride] for r in range(n_seeds)]
+    per_variant = {
+        v: [results[r * stride + 1 + i] for r in range(n_seeds)]
+        for i, v in enumerate(VARIANTS)
+    }
 
     result = FigureResult(
         figure_id="Figure 7",
         title=f"Ablation normalized to full Hawk ({n} nodes)",
         headers=("variant", "short p50", "short p90", "long p50", "long p90"),
     )
-    for variant, res in zip(VARIANTS, variant_results):
+
+    def ratio_cell(variant_runs, job_class, p):
+        return paired_cell(
+            lambda v, b: normalized_percentile(v, b, job_class, p),
+            variant_runs,
+            bases,
+        )
+
+    for variant in VARIANTS:
+        runs = per_variant[variant]
         result.add_row(
             variant,
-            normalized_percentile(res, base, JobClass.SHORT, 50),
-            normalized_percentile(res, base, JobClass.SHORT, 90),
-            normalized_percentile(res, base, JobClass.LONG, 50),
-            normalized_percentile(res, base, JobClass.LONG, 90),
+            ratio_cell(runs, JobClass.SHORT, 50),
+            ratio_cell(runs, JobClass.SHORT, 90),
+            ratio_cell(runs, JobClass.LONG, 50),
+            ratio_cell(runs, JobClass.LONG, 90),
         )
     result.add_note("values > 1: removing the mechanism hurts that class")
+    if n_seeds > 1:
+        result.add_note(
+            f"aggregated over {n_seeds} matched seed replicas; "
+            "cells are mean±95% CI half-width"
+        )
     return result

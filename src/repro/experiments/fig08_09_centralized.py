@@ -16,13 +16,19 @@ from repro.experiments.config import (
 )
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import sweep
-from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.experiments.traces import (
+    google_cutoff,
+    google_short_fraction,
+    google_trace,
+    google_trace_factory,
+)
 
 
 def run(
     scale: str = "full",
     seed: int = 0,
     utilization_targets=GOOGLE_UTILIZATION_TARGETS,
+    n_seeds: int = 1,
 ) -> FigureResult:
     trace = google_trace(scale, seed)
     cutoff = google_cutoff()
@@ -49,17 +55,30 @@ def run(
             "long p90",
         ),
     )
-    for point in sweep(trace, sizes, hawk, centralized):
+    points = sweep(
+        trace,
+        sizes,
+        hawk,
+        centralized,
+        n_seeds=n_seeds,
+        trace_factory=google_trace_factory(scale),
+    )
+    for point in points:
         result.add_row(
             point.n_workers,
-            point.baseline_median_utilization,
-            point.short_p50_ratio,
-            point.short_p90_ratio,
-            point.long_p50_ratio,
-            point.long_p90_ratio,
+            point.cell("baseline_median_utilization"),
+            point.cell("short_p50_ratio"),
+            point.cell("short_p90_ratio"),
+            point.cell("long_p50_ratio"),
+            point.cell("long_p90_ratio"),
         )
     result.add_note(
         "Figure 8 = short columns (Hawk wins under heavy load), "
         "Figure 9 = long columns (centralized slightly better: whole cluster)"
     )
+    if n_seeds > 1:
+        result.add_note(
+            f"aggregated over {n_seeds} matched seed replicas; "
+            "ratio cells are mean±95% CI half-width"
+        )
     return result

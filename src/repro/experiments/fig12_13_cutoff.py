@@ -12,8 +12,14 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
 from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.traces import google_short_fraction, google_trace
+from repro.experiments.traces import (
+    google_short_fraction,
+    google_trace,
+    google_trace_factory,
+)
 from repro.metrics.comparison import normalized_percentile
+from repro.metrics.stats import mean, paired_cell
+from repro.workloads.replication import replica_seeds
 
 #: The paper's x-axis (seconds); 1129 is Hawk's default Google cutoff.
 PAPER_CUTOFFS = (750.0, 1000.0, 1129.0, 1300.0, 1500.0, 2000.0)
@@ -24,9 +30,13 @@ def run(
     seed: int = 0,
     cutoffs=PAPER_CUTOFFS,
     load_target: float = HIGH_LOAD_TARGET,
+    n_seeds: int = 1,
 ) -> FigureResult:
     trace = google_trace(scale, seed)
     n = high_load_size(trace, load_target)
+    factory = google_trace_factory(scale)
+    seeds = replica_seeds(seed, n_seeds)
+    traces = [trace] + [factory(s) for s in seeds[1:]]
     result = FigureResult(
         figure_id="Figures 12-13",
         title=f"Cutoff sensitivity, Hawk normalized to Sparrow ({n} nodes)",
@@ -39,36 +49,56 @@ def run(
             "short p90",
         ),
     )
-    # One batch: the Hawk/Sparrow pair at every cutoff.
+    # One batch: the matched Hawk/Sparrow pair at every cutoff, per
+    # replica seed.
     pairs = []
     for cutoff in cutoffs:
-        hawk = RunSpec(
-            scheduler="hawk",
-            n_workers=n,
-            cutoff=cutoff,
-            short_partition_fraction=google_short_fraction(),
-            seed=seed,
-        )
-        sparrow = RunSpec(
-            scheduler="sparrow", n_workers=n, cutoff=cutoff, seed=seed
-        )
-        pairs.extend([(hawk, trace), (sparrow, trace)])
+        for r, s in enumerate(seeds):
+            hawk = RunSpec(
+                scheduler="hawk",
+                n_workers=n,
+                cutoff=cutoff,
+                short_partition_fraction=google_short_fraction(),
+                seed=s,
+            )
+            sparrow = RunSpec(
+                scheduler="sparrow", n_workers=n, cutoff=cutoff, seed=s
+            )
+            pairs.extend([(hawk, traces[r]), (sparrow, traces[r])])
     results = get_executor().run_many(pairs)
     for i, cutoff in enumerate(cutoffs):
-        hawk_res, sparrow_res = results[2 * i], results[2 * i + 1]
-        long_fraction = sum(
-            1 for j in trace if j.is_long(cutoff)
-        ) / len(trace)
+        base = 2 * n_seeds * i
+        hawk_runs = [results[base + 2 * r] for r in range(n_seeds)]
+        sparrow_runs = [results[base + 2 * r + 1] for r in range(n_seeds)]
+        long_fraction = mean(
+            [
+                sum(1 for j in t if j.is_long(cutoff)) / len(t)
+                for t in traces
+            ]
+        )
+
+        def ratio_cell(job_class, p):
+            return paired_cell(
+                lambda h, s: normalized_percentile(h, s, job_class, p),
+                hawk_runs,
+                sparrow_runs,
+            )
+
         result.add_row(
             cutoff,
             100.0 * long_fraction,
-            normalized_percentile(hawk_res, sparrow_res, JobClass.LONG, 50),
-            normalized_percentile(hawk_res, sparrow_res, JobClass.LONG, 90),
-            normalized_percentile(hawk_res, sparrow_res, JobClass.SHORT, 50),
-            normalized_percentile(hawk_res, sparrow_res, JobClass.SHORT, 90),
+            ratio_cell(JobClass.LONG, 50),
+            ratio_cell(JobClass.LONG, 90),
+            ratio_cell(JobClass.SHORT, 50),
+            ratio_cell(JobClass.SHORT, 90),
         )
     result.add_note(
         "Figure 12 = long columns, Figure 13 = short columns; Hawk should "
         "keep its benefits across the whole cutoff range"
     )
+    if n_seeds > 1:
+        result.add_note(
+            f"aggregated over {n_seeds} matched seed replicas; "
+            "ratio cells are mean±95% CI half-width"
+        )
     return result

@@ -12,8 +12,15 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
 from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.experiments.traces import (
+    google_cutoff,
+    google_short_fraction,
+    google_trace,
+    google_trace_factory,
+)
 from repro.metrics.comparison import normalized_percentile
+from repro.metrics.stats import mean, paired_cell
+from repro.workloads.replication import replica_seeds
 
 #: The paper's x-axis.
 PAPER_CAPS = (1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250)
@@ -24,40 +31,64 @@ def run(
     seed: int = 0,
     caps=PAPER_CAPS,
     load_target: float = HIGH_LOAD_TARGET,
+    n_seeds: int = 1,
 ) -> FigureResult:
     trace = google_trace(scale, seed)
     cutoff = google_cutoff()
     n = high_load_size(trace, load_target)
+    factory = google_trace_factory(scale)
+    seeds = replica_seeds(seed, n_seeds)
+    traces = [trace] + [factory(s) for s in seeds[1:]]
 
-    def spec(cap: int) -> RunSpec:
+    def spec(cap: int, s: int) -> RunSpec:
         return RunSpec(
             scheduler="hawk",
             n_workers=n,
             cutoff=cutoff,
             short_partition_fraction=google_short_fraction(),
-            seed=seed,
+            seed=s,
             steal_cap=cap,
         )
 
-    # One batch: cap=1 plus the whole sweep (the executor deduplicates
-    # the repeated cap=1 run).
-    base, *cap_results = get_executor().run_many(
-        [(spec(1), trace)] + [(spec(cap), trace) for cap in caps]
-    )
+    # One batch: cap=1 plus the whole sweep, per replica seed (the
+    # executor deduplicates the repeated cap=1 runs).  Each replica's
+    # caps normalize to the same replica's cap=1 run (matched seeds).
+    batch = [(spec(1, s), traces[r]) for r, s in enumerate(seeds)]
+    batch += [
+        (spec(cap, s), traces[r])
+        for cap in caps
+        for r, s in enumerate(seeds)
+    ]
+    results = get_executor().run_many(batch)
+    bases = results[:n_seeds]
     result = FigureResult(
         figure_id="Figure 15",
         title=f"Steal-cap sensitivity normalized to cap=1 ({n} nodes)",
         headers=("cap", "short p50", "short p90", "steal success rate"),
     )
-    for cap, res in zip(caps, cap_results):
+    for i, cap in enumerate(caps):
+        runs = results[n_seeds * (i + 1) : n_seeds * (i + 2)]
+
+        def ratio_cell(p):
+            return paired_cell(
+                lambda c, b: normalized_percentile(c, b, JobClass.SHORT, p),
+                runs,
+                bases,
+            )
+
         result.add_row(
             cap,
-            normalized_percentile(res, base, JobClass.SHORT, 50),
-            normalized_percentile(res, base, JobClass.SHORT, 90),
-            res.stealing.success_rate,
+            ratio_cell(50),
+            ratio_cell(90),
+            mean([r.stealing.success_rate for r in runs]),
         )
     result.add_note(
         "ratios should fall with the cap and flatten by cap≈10 "
         "(paper Section 4.9)"
     )
+    if n_seeds > 1:
+        result.add_note(
+            f"aggregated over {n_seeds} matched seed replicas; "
+            "ratio cells are mean±95% CI half-width"
+        )
     return result

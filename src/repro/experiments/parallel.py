@@ -28,6 +28,10 @@ Knobs (also see ``src/repro/experiments/README.md``):
   ``os.cpu_count()``; ``0``/``1`` force the deterministic serial path.
 * ``REPRO_RUNCACHE`` — set to ``0`` to disable the on-disk tier.
 * ``REPRO_RUNCACHE_DIR`` — override the on-disk cache location.
+* ``REPRO_RUNCACHE_MAX_MB`` — cap the on-disk tier's total size;
+  least-recently-used entries (by mtime, refreshed on every cache hit)
+  are evicted after each store until the cache fits.  Unset means
+  unbounded.
 
 Runs are deterministic given (spec, trace): per-run RNG streams are
 seeded from the spec, so the parallel path returns bit-identical results
@@ -38,6 +42,7 @@ pickled (e.g. closures) transparently fall back to in-process execution.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -49,6 +54,7 @@ from typing import Sequence
 from repro.cluster.records import RunResult
 from repro.core.errors import ConfigurationError
 from repro.experiments.config import RunSpec, execute
+from repro.workloads.replication import TraceFactory
 from repro.workloads.spec import Trace
 
 #: Bump to invalidate every persisted run at once (see module docstring).
@@ -57,6 +63,7 @@ CACHE_VERSION = 1
 WORKERS_ENV = "REPRO_EXECUTOR_WORKERS"
 DISK_CACHE_ENV = "REPRO_RUNCACHE"
 DISK_CACHE_DIR_ENV = "REPRO_RUNCACHE_DIR"
+DISK_CACHE_MAX_MB_ENV = "REPRO_RUNCACHE_MAX_MB"
 
 def _default_cache_dir() -> Path:
     """``benchmarks/.runcache`` at the repo root for a src/ checkout.
@@ -101,10 +108,39 @@ def cache_key(spec: RunSpec, trace: Trace) -> str:
 
 
 class DiskCache:
-    """Pickled RunResults under ``<root>/v<CACHE_VERSION>/<key>.pkl``."""
+    """Pickled RunResults under ``<root>/v<CACHE_VERSION>/<key>.pkl``.
 
-    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR) -> None:
-        self.root = Path(root) / f"v{CACHE_VERSION}"
+    With ``max_bytes`` set, the cache is bounded: after every store, the
+    least-recently-used entries — oldest mtime first, across *all*
+    version directories under the root, so stale-version entries go
+    first — are deleted until the total size fits.  A hit refreshes the
+    entry's mtime, making the policy LRU rather than FIFO.  The entry
+    just written is never evicted, so a single result larger than the
+    cap still caches (the cap then holds only approximately).
+    """
+
+    def __init__(
+        self,
+        root: Path | str = DEFAULT_CACHE_DIR,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError(
+                f"cache max_bytes must be positive, got {max_bytes}"
+            )
+        self.base_root = Path(root)
+        self.root = self.base_root / f"v{CACHE_VERSION}"
+        self.max_bytes = max_bytes
+        #: Entries deleted by cap enforcement (observability counter).
+        self.evictions = 0
+        # Running size estimate so stores far below the cap skip the
+        # full tree scan: seeded by one scan on first need, advanced by
+        # this writer's stores, re-synced by every enforcement scan.
+        # Other writers' concurrent stores are only picked up at the
+        # next scan, so the cap is exact per-writer and approximate
+        # across writers — over-use is bounded and corrected as soon as
+        # any writer crosses its own estimate.
+        self._approx_total: int | None = None
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -117,7 +153,13 @@ class DiskCache:
             # Missing, truncated or otherwise unreadable entries are
             # plain misses; the run is recomputed and the entry rewritten.
             return None
-        return result if isinstance(result, RunResult) else None
+        if not isinstance(result, RunResult):
+            return None
+        try:
+            os.utime(self.path(key))  # refresh LRU recency
+        except OSError:
+            pass
+        return result
 
     def store(self, key: str, result: RunResult) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -131,6 +173,63 @@ class DiskCache:
             os.replace(tmp, final)
         except OSError:
             tmp.unlink(missing_ok=True)
+            return
+        if self.max_bytes is None:
+            return
+        if self._approx_total is None:
+            self._approx_total = self.total_bytes()  # includes this entry
+        else:
+            try:
+                self._approx_total += final.stat().st_size
+            except OSError:
+                self._approx_total = None
+        if self._approx_total is None or self._approx_total > self.max_bytes:
+            self.enforce_cap(keep=final)
+
+    def total_bytes(self) -> int:
+        """Current size of every entry under the cache root (all versions)."""
+        return sum(size for _, _, size in self._entries())
+
+    def _entries(self) -> list[tuple[float, Path, int]]:
+        """(mtime, path, size) of every entry; racing deletions skipped."""
+        entries = []
+        if not self.base_root.is_dir():
+            return entries
+        for path in self.base_root.glob("**/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+        return entries
+
+    def enforce_cap(self, keep: Path | None = None) -> int:
+        """Evict LRU entries until the cache fits ``max_bytes``.
+
+        Returns the number of entries deleted.  ``keep`` (the entry just
+        written) is exempt.  Concurrent enforcement is safe: deleting an
+        already-deleted entry is a no-op, and over-deletion only costs a
+        future recompute, never correctness.
+        """
+        if self.max_bytes is None:
+            return 0
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        for _, path, size in sorted(entries):  # oldest mtime first
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self._approx_total = total
+        self.evictions += removed
+        return removed
 
     def clear(self) -> int:
         """Delete this version's entries; returns the number removed."""
@@ -139,6 +238,7 @@ class DiskCache:
             for entry in self.root.glob("*.pkl"):
                 entry.unlink(missing_ok=True)
                 removed += 1
+        self._approx_total = None
         return removed
 
 
@@ -155,10 +255,56 @@ def _pool_size_from_env() -> int:
     return max(1, value)
 
 
+def _max_bytes_from_env() -> int | None:
+    raw = os.environ.get(DISK_CACHE_MAX_MB_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{DISK_CACHE_MAX_MB_ENV} must be a number (MB), got {raw!r}"
+        ) from None
+    if not math.isfinite(megabytes) or megabytes <= 0:
+        raise ConfigurationError(
+            f"{DISK_CACHE_MAX_MB_ENV} must be a positive finite number, "
+            f"got {raw!r}"
+        )
+    return int(megabytes * 1024 * 1024)
+
+
 def _disk_cache_from_env() -> DiskCache | None:
     if os.environ.get(DISK_CACHE_ENV, "1").strip() in ("0", "off", "no"):
         return None
-    return DiskCache(os.environ.get(DISK_CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+    return DiskCache(
+        os.environ.get(DISK_CACHE_DIR_ENV, DEFAULT_CACHE_DIR),
+        max_bytes=_max_bytes_from_env(),
+    )
+
+
+def replica_pairs(
+    spec: RunSpec,
+    trace: Trace,
+    n_seeds: int,
+    trace_factory: TraceFactory | None = None,
+) -> list[tuple[RunSpec, Trace]]:
+    """Expand one (spec, trace) point into ``n_seeds`` replica pairs.
+
+    Replica ``r`` runs ``spec`` with seed ``spec.seed + r`` (the
+    :meth:`RunSpec.replicas` family).  With a ``trace_factory``, each
+    replica additionally gets an independent trace draw from the replica
+    seed; replica 0 always uses the given ``trace`` verbatim, so the
+    ``n_seeds=1`` expansion is exactly the historical single run — same
+    spec, same trace object, same cache key.
+    """
+    specs = spec.replicas(n_seeds)
+    pairs: list[tuple[RunSpec, Trace]] = [(specs[0], trace)]
+    for replica in specs[1:]:
+        replica_trace = (
+            trace if trace_factory is None else trace_factory(replica.seed)
+        )
+        pairs.append((replica, replica_trace))
+    return pairs
 
 
 def _execute_keyed(key: str, spec: RunSpec, trace: Trace):
@@ -237,6 +383,26 @@ class SweepExecutor:
     # -- execution ------------------------------------------------------
     def run_one(self, spec: RunSpec, trace: Trace) -> RunResult:
         return self.run_many([(spec, trace)])[0]
+
+    def run_replicated(
+        self,
+        spec: RunSpec,
+        trace: Trace,
+        n_seeds: int,
+        trace_factory: TraceFactory | None = None,
+    ) -> list[RunResult]:
+        """``n_seeds`` independent replicas of one (spec, trace) point.
+
+        Replica ``r`` uses seed ``spec.seed + r`` and, when a
+        ``trace_factory`` is given, an independent trace drawn from that
+        seed (see :func:`replica_pairs`).  Each replica has its own
+        cache key — the seed is a compared spec field and replica traces
+        have distinct content digests — so replicas hit the two-tier
+        cache independently and fan out over the pool as one batch.
+        ``run_replicated(spec, trace, 1)`` is exactly
+        ``[run_one(spec, trace)]``.
+        """
+        return self.run_many(replica_pairs(spec, trace, n_seeds, trace_factory))
 
     def run_many(
         self, pairs: Sequence[tuple[RunSpec, Trace]]

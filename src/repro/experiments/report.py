@@ -6,9 +6,15 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.errors import ConfigurationError
+from repro.metrics.stats import SummaryStats
 
 
 def _format_cell(value) -> str:
+    if isinstance(value, SummaryStats):
+        # Aggregated replicas render as mean±(CI half-width); a plain
+        # float cell (the single-seed path) is untouched, keeping
+        # single-seed tables bit-identical to the historical output.
+        return f"{_format_cell(value.mean)}±{_format_cell(value.ci_half)}"
     if isinstance(value, float):
         if value == 0:
             return "0"
@@ -90,6 +96,18 @@ class FigureResult:
                 f"no column {header!r} in {self.figure_id}"
             ) from exc
         return [row[idx] for row in self.rows]
+
+    def column_means(self, header: str) -> list[float]:
+        """Like :meth:`column`, but collapsing aggregated cells to means.
+
+        Lets assertions run unchanged over single-seed (float cells) and
+        replicated (:class:`~repro.metrics.stats.SummaryStats` cells)
+        figure output.
+        """
+        return [
+            v.mean if isinstance(v, SummaryStats) else v
+            for v in self.column(header)
+        ]
 
     def render(self) -> str:
         parts = [f"== {self.figure_id}: {self.title} ==",

@@ -20,12 +20,29 @@ from __future__ import annotations
 from repro.cluster.records import RunResult
 from repro.experiments.config import RunSpec
 from repro.experiments.parallel import get_executor
+from repro.workloads.replication import TraceFactory
 from repro.workloads.spec import Trace
 
 
 def run_cached(spec: RunSpec, trace: Trace) -> RunResult:
     """Run one experiment through the executor's two-tier cache."""
     return get_executor().run_one(spec, trace)
+
+
+def run_replicated(
+    spec: RunSpec,
+    trace: Trace,
+    n_seeds: int,
+    trace_factory: TraceFactory | None = None,
+) -> list[RunResult]:
+    """``n_seeds`` matched replicas of one run, through the same cache.
+
+    Replica ``r`` re-seeds the spec with ``spec.seed + r`` (and redraws
+    the trace from that seed when a factory is given); each replica is
+    cached under its own key.  ``run_replicated(spec, trace, 1)`` is
+    exactly ``[run_cached(spec, trace)]``.
+    """
+    return get_executor().run_replicated(spec, trace, n_seeds, trace_factory)
 
 
 def clear_cache() -> None:

@@ -8,14 +8,26 @@ All runs of a sweep are submitted as one batch to the
 :class:`~repro.experiments.parallel.SweepExecutor`, which deduplicates
 them against the two-tier run cache and fans cache misses out over a
 worker pool.
+
+Seed replication: with ``n_seeds > 1`` every sweep point fans out into
+``n_seeds`` matched replicas — replica ``r`` runs *both* schedulers with
+seed ``base + r`` on the same trace draw (an independent draw per
+replica when a ``trace_factory`` is given) — and the sweep returns
+:class:`ReplicatedPoint` aggregates.  Per-replica ratios are computed
+within the matched pair before aggregation, so trace-level noise common
+to candidate and baseline cancels.  ``n_seeds=1`` is the degenerate
+case: one replica, scalar accessors return its values bit-for-bit, and
+the executor batch is identical to the historical single-seed sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cluster.job import JobClass
 from repro.cluster.records import RunResult
+from repro.core.errors import ConfigurationError
 from repro.experiments.config import RunSpec
 from repro.experiments.parallel import SweepExecutor, get_executor
 from repro.metrics.comparison import (
@@ -23,12 +35,14 @@ from repro.metrics.comparison import (
     fraction_improved,
     normalized_percentile,
 )
+from repro.metrics.stats import SummaryStats, mean, summarize
+from repro.workloads.replication import TraceFactory, replica_seeds
 from repro.workloads.spec import Trace
 
 
 @dataclass(frozen=True, slots=True)
 class SweepPoint:
-    """One cluster size of a candidate-vs-baseline sweep."""
+    """One replica of one cluster size of a candidate-vs-baseline sweep."""
 
     n_workers: int
     baseline_median_utilization: float
@@ -38,6 +52,105 @@ class SweepPoint:
     long_p90_ratio: float
     candidate: RunResult
     baseline: RunResult
+
+
+#: The scalar metrics a SweepPoint carries (aggregatable per replica).
+POINT_METRICS = (
+    "baseline_median_utilization",
+    "short_p50_ratio",
+    "short_p90_ratio",
+    "long_p50_ratio",
+    "long_p90_ratio",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicatedPoint:
+    """One cluster size, aggregated over matched seed replicas.
+
+    ``replicas[r]`` holds the :class:`SweepPoint` for replica seed
+    ``seeds[r]``; candidate and baseline of a replica share that seed
+    (and trace draw), so each replica's ratios are a matched-pair sample.
+    Scalar accessors (``short_p50_ratio`` …) return replica means, which
+    for a single replica are its values bit-for-bit; :meth:`stat` returns
+    the full replica statistics.
+    """
+
+    n_workers: int
+    seeds: tuple[int, ...]
+    replicas: tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.replicas or len(self.seeds) != len(self.replicas):
+            raise ConfigurationError(
+                f"need one seed per replica, got {len(self.seeds)} seeds "
+                f"for {len(self.replicas)} replicas"
+            )
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.replicas)
+
+    # -- degenerate-safe scalar accessors (means over replicas) ---------
+    @property
+    def baseline_median_utilization(self) -> float:
+        return mean([r.baseline_median_utilization for r in self.replicas])
+
+    @property
+    def short_p50_ratio(self) -> float:
+        return mean([r.short_p50_ratio for r in self.replicas])
+
+    @property
+    def short_p90_ratio(self) -> float:
+        return mean([r.short_p90_ratio for r in self.replicas])
+
+    @property
+    def long_p50_ratio(self) -> float:
+        return mean([r.long_p50_ratio for r in self.replicas])
+
+    @property
+    def long_p90_ratio(self) -> float:
+        return mean([r.long_p90_ratio for r in self.replicas])
+
+    @property
+    def candidate(self) -> RunResult:
+        """The base-seed replica's candidate run."""
+        return self.replicas[0].candidate
+
+    @property
+    def baseline(self) -> RunResult:
+        """The base-seed replica's baseline run."""
+        return self.replicas[0].baseline
+
+    # -- replica statistics ---------------------------------------------
+    def stat(self, metric: str, confidence: float = 0.95) -> SummaryStats:
+        """Replica statistics of one named :data:`POINT_METRICS` entry."""
+        return summarize(
+            [getattr(r, metric) for r in self.replicas], confidence
+        )
+
+    def cell(self, metric: str) -> float | SummaryStats:
+        """Render value for a table cell.
+
+        A single replica yields the plain float (keeping single-seed
+        figure output bit-identical); multiple replicas yield the full
+        :class:`~repro.metrics.stats.SummaryStats`, which the report
+        layer renders as ``mean±ci``.
+        """
+        if self.n_seeds == 1:
+            return getattr(self.replicas[0], metric)
+        return self.stat(metric)
+
+    def aggregate(
+        self,
+        metric: Callable[[RunResult, RunResult], float],
+        confidence: float = 0.95,
+    ) -> SummaryStats:
+        """Matched-seed aggregate of ``metric(candidate, baseline)``."""
+        return summarize(
+            [metric(r.candidate, r.baseline) for r in self.replicas],
+            confidence,
+        )
 
 
 def _build_point(
@@ -59,21 +172,34 @@ def _build_point(
     )
 
 
+def _replica_traces(
+    trace: Trace, seeds: tuple[int, ...], trace_factory: TraceFactory | None
+) -> tuple[Trace, ...]:
+    """One trace per replica; replica 0 keeps the given trace verbatim."""
+    if trace_factory is None:
+        return (trace,) * len(seeds)
+    return (trace,) + tuple(trace_factory(seed) for seed in seeds[1:])
+
+
 def compare_at_size(
     trace: Trace,
     n_workers: int,
     candidate_spec: RunSpec,
     baseline_spec: RunSpec,
     executor: SweepExecutor | None = None,
-) -> SweepPoint:
-    executor = executor or get_executor()
-    candidate, baseline = executor.run_many(
-        [
-            (candidate_spec.with_(n_workers=n_workers), trace),
-            (baseline_spec.with_(n_workers=n_workers), trace),
-        ]
+    n_seeds: int = 1,
+    trace_factory: TraceFactory | None = None,
+) -> ReplicatedPoint:
+    points = sweep(
+        trace,
+        (n_workers,),
+        candidate_spec,
+        baseline_spec,
+        executor=executor,
+        n_seeds=n_seeds,
+        trace_factory=trace_factory,
     )
-    return _build_point(n_workers, candidate, baseline)
+    return points[0]
 
 
 def sweep(
@@ -82,28 +208,60 @@ def sweep(
     candidate_spec: RunSpec,
     baseline_spec: RunSpec,
     executor: SweepExecutor | None = None,
-) -> list[SweepPoint]:
+    n_seeds: int = 1,
+    trace_factory: TraceFactory | None = None,
+) -> list[ReplicatedPoint]:
     """Compare the two schedulers at every cluster size.
 
-    The whole sweep — candidate and baseline at every size — is one
-    executor batch, so independent runs execute concurrently when the
-    pool has more than one worker.
+    The whole sweep — candidate and baseline, every size, every replica
+    seed — is one executor batch, so independent runs execute
+    concurrently when the pool has more than one worker.  Replica seeds
+    derive from the candidate spec's seed (drivers give candidate and
+    baseline the same base seed; each spec's own base is offset
+    per-replica, keeping the pairing matched either way).
     """
     executor = executor or get_executor()
+    seeds = replica_seeds(candidate_spec.seed, n_seeds)
+    traces = _replica_traces(trace, seeds, trace_factory)
+    candidates = candidate_spec.replicas(n_seeds)
+    baselines = baseline_spec.replicas(n_seeds)
     pairs: list[tuple[RunSpec, Trace]] = []
     for n in sizes:
-        pairs.append((candidate_spec.with_(n_workers=n), trace))
-        pairs.append((baseline_spec.with_(n_workers=n), trace))
+        for r in range(n_seeds):
+            pairs.append((candidates[r].with_(n_workers=n), traces[r]))
+            pairs.append((baselines[r].with_(n_workers=n), traces[r]))
     results = executor.run_many(pairs)
-    return [
-        _build_point(n, results[2 * i], results[2 * i + 1])
-        for i, n in enumerate(sizes)
-    ]
+    points: list[ReplicatedPoint] = []
+    for i, n in enumerate(sizes):
+        base = 2 * n_seeds * i
+        replicas = tuple(
+            _build_point(n, results[base + 2 * r], results[base + 2 * r + 1])
+            for r in range(n_seeds)
+        )
+        points.append(ReplicatedPoint(n_workers=n, seeds=seeds, replicas=replicas))
+    return points
 
 
-def extra_metrics(point: SweepPoint, job_class: JobClass) -> tuple[float, float]:
-    """Figure 5c metrics: (fraction improved-or-equal, avg runtime ratio)."""
+def extra_metrics(
+    point: ReplicatedPoint | SweepPoint, job_class: JobClass
+) -> tuple[float, float]:
+    """Figure 5c metrics: (fraction improved-or-equal, avg runtime ratio).
+
+    For a replicated point these are matched-seed replica means; with a
+    single replica, the historical per-run values bit-for-bit.
+    """
+    replicas = point.replicas if isinstance(point, ReplicatedPoint) else (point,)
     return (
-        fraction_improved(point.candidate, point.baseline, job_class),
-        average_runtime_ratio(point.candidate, point.baseline, job_class),
+        mean(
+            [
+                fraction_improved(r.candidate, r.baseline, job_class)
+                for r in replicas
+            ]
+        ),
+        mean(
+            [
+                average_runtime_ratio(r.candidate, r.baseline, job_class)
+                for r in replicas
+            ]
+        ),
     )

@@ -9,7 +9,9 @@ from repro.experiments.traces import (
     google_trace,
     kmeans_workload_trace,
 )
+from repro.metrics.stats import summarize
 from repro.workloads.analysis import workload_summary
+from repro.workloads.replication import replica_seeds
 
 #: Paper values for (long-job fraction, task-seconds share) per workload.
 PAPER_TABLE1 = {
@@ -28,15 +30,27 @@ PAPER_TABLE2 = {
 }
 
 
-def _summaries(scale: str, seed: int):
-    yield workload_summary(google_trace(scale, seed), google_cutoff())
+def _summaries(scale: str, seed: int, n_seeds: int = 1):
+    """Per workload: one :func:`workload_summary` per replica seed."""
+    seeds = replica_seeds(seed, n_seeds)
+    yield [
+        workload_summary(google_trace(scale, s), google_cutoff())
+        for s in seeds
+    ]
     for spec in ALL_WORKLOAD_SPECS:
-        yield workload_summary(
-            kmeans_workload_trace(spec, scale, seed), spec.cutoff
-        )
+        yield [
+            workload_summary(kmeans_workload_trace(spec, scale, s), spec.cutoff)
+            for s in seeds
+        ]
 
 
-def run_table1(scale: str = "full", seed: int = 0) -> FigureResult:
+def _percent_cell(values: list[float]):
+    """``100 * value``, or its replica statistics when replicated."""
+    scaled = [100.0 * v for v in values]
+    return scaled[0] if len(scaled) == 1 else summarize(scaled)
+
+
+def run_table1(scale: str = "full", seed: int = 0, n_seeds: int = 1) -> FigureResult:
     """Table 1: long jobs are few but take most task-seconds."""
     result = FigureResult(
         figure_id="Table 1",
@@ -49,23 +63,28 @@ def run_table1(scale: str = "full", seed: int = 0) -> FigureResult:
             "% task-sec (ours)",
         ),
     )
-    for summary in _summaries(scale, seed):
-        paper_long, paper_ts = PAPER_TABLE1[summary.name]
+    for summaries in _summaries(scale, seed, n_seeds):
+        paper_long, paper_ts = PAPER_TABLE1[summaries[0].name]
         result.add_row(
-            summary.name,
+            summaries[0].name,
             100.0 * paper_long,
-            100.0 * summary.long_fraction,
+            _percent_cell([s.long_fraction for s in summaries]),
             100.0 * paper_ts,
-            100.0 * summary.task_seconds_share,
+            _percent_cell([s.task_seconds_share for s in summaries]),
         )
     result.add_note(
         "generated workloads are synthetic stand-ins calibrated to the "
         "paper's statistics (see DESIGN.md)"
     )
+    if n_seeds > 1:
+        result.add_note(
+            f"measured over {n_seeds} independent trace draws; "
+            "cells are mean±95% CI half-width"
+        )
     return result
 
 
-def run_table2(scale: str = "full", seed: int = 0) -> FigureResult:
+def run_table2(scale: str = "full", seed: int = 0, n_seeds: int = 1) -> FigureResult:
     """Table 2: number of long jobs and total job counts."""
     result = FigureResult(
         figure_id="Table 2",
@@ -78,17 +97,22 @@ def run_table2(scale: str = "full", seed: int = 0) -> FigureResult:
             "jobs (ours)",
         ),
     )
-    for summary in _summaries(scale, seed):
-        paper_long, paper_jobs = PAPER_TABLE2[summary.name]
+    for summaries in _summaries(scale, seed, n_seeds):
+        paper_long, paper_jobs = PAPER_TABLE2[summaries[0].name]
         result.add_row(
-            summary.name,
+            summaries[0].name,
             100.0 * paper_long,
-            100.0 * summary.long_fraction,
+            _percent_cell([s.long_fraction for s in summaries]),
             paper_jobs,
-            summary.total_jobs,
+            summaries[0].total_jobs,  # fixed by the generator's job count
         )
     result.add_note(
         "our traces are downscaled in job count; per-job statistics, not "
         "totals, drive the scheduling dynamics"
     )
+    if n_seeds > 1:
+        result.add_note(
+            f"measured over {n_seeds} independent trace draws; "
+            "% cells are mean±95% CI half-width"
+        )
     return result

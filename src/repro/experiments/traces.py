@@ -17,6 +17,7 @@ from repro.workloads import (
 )
 from repro.workloads.google import GOOGLE_SHORT_PARTITION_FRACTION
 from repro.workloads.kmeans import KMeansWorkloadSpec
+from repro.workloads.replication import TraceFactory
 from repro.workloads.spec import Trace
 
 #: Jobs per generated trace at the two scales.  "full" is the default used
@@ -49,6 +50,23 @@ def kmeans_workload_trace(
             seed=seed,
         )
     return _cache[key]
+
+
+def google_trace_factory(scale: str = "full") -> TraceFactory:
+    """``seed -> Trace`` for seed-replicated sweeps of the Google trace.
+
+    Backed by the same per-(scale, seed) cache as :func:`google_trace`,
+    so replicas regenerate once per process and identical seeds share
+    run-cache entries across figures.
+    """
+    return lambda seed: google_trace(scale, seed)
+
+
+def kmeans_trace_factory(
+    spec: KMeansWorkloadSpec, scale: str = "full"
+) -> TraceFactory:
+    """``seed -> Trace`` for seed-replicated sweeps of a k-means workload."""
+    return lambda seed: kmeans_workload_trace(spec, scale, seed)
 
 
 def google_cutoff() -> float:

@@ -8,12 +8,34 @@ from repro.metrics.comparison import (
     normalized_percentile,
 )
 from repro.metrics.percentiles import percentile
+from repro.metrics.stats import (
+    SummaryStats,
+    mean,
+    median_of_replicas,
+    paired_cell,
+    paired_summary,
+    paired_values,
+    percentile_of_replicas,
+    stdev,
+    summarize,
+    t_confidence_interval,
+)
 
 __all__ = [
     "Comparison",
+    "SummaryStats",
     "average_runtime_ratio",
     "compare_runs",
     "fraction_improved",
+    "mean",
+    "median_of_replicas",
     "normalized_percentile",
+    "paired_cell",
+    "paired_summary",
+    "paired_values",
     "percentile",
+    "percentile_of_replicas",
+    "stdev",
+    "summarize",
+    "t_confidence_interval",
 ]

@@ -18,6 +18,11 @@ from repro.workloads.kmeans import (
     kmeans_trace,
 )
 from repro.workloads.motivation import MotivationConfig, motivation_trace
+from repro.workloads.replication import (
+    TraceFactory,
+    replica_seeds,
+    replicate_trace,
+)
 from repro.workloads.scaling import scale_trace_for_prototype
 from repro.workloads.spec import JobSpec, Trace
 from repro.workloads.trace_io import read_trace, write_trace
@@ -31,6 +36,7 @@ __all__ = [
     "KMeansWorkloadSpec",
     "MotivationConfig",
     "Trace",
+    "TraceFactory",
     "YAHOO_2011",
     "cdf_points",
     "google_like_trace",
@@ -40,6 +46,8 @@ __all__ = [
     "motivation_trace",
     "poisson_arrival_times",
     "read_trace",
+    "replica_seeds",
+    "replicate_trace",
     "scale_trace_for_prototype",
     "task_seconds_share",
     "tasks_share",

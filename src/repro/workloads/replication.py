@@ -1,0 +1,63 @@
+"""Seeded trace replication: independent workload draws per replica.
+
+Every generator in this package is a pure function of ``(config, seed)``,
+so an experiment can be replicated by re-running it over a family of
+seeds.  This module fixes the seed-derivation convention in one place:
+
+* replica ``r`` of base seed ``s`` uses seed ``s + r`` — replica 0 *is*
+  the base seed, which is what keeps the single-seed experiment path
+  bit-identical to the historical one;
+* candidate and baseline runs of the same replica share the seed (and
+  therefore the regenerated trace), so paired comparisons cancel the
+  trace-level noise ("matched-seed pairing", see
+  :mod:`repro.metrics.stats`).
+
+Overlap between seed families (base 0 and base 1 share seeds ``1..``) is
+deliberate: replicas are content-addressed in the run cache, so shared
+seeds mean shared cached runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.workloads.spec import Trace
+
+#: A seeded trace generator: ``seed -> Trace``, deterministic per seed.
+TraceFactory = Callable[[int], Trace]
+
+
+def replica_seeds(base_seed: int, n_seeds: int) -> tuple[int, ...]:
+    """The seed family for ``n_seeds`` replicas of ``base_seed``.
+
+    ``replica_seeds(s, 1) == (s,)``: a single replica is exactly the
+    base experiment.
+    """
+    if n_seeds <= 0:
+        raise ConfigurationError(f"n_seeds must be positive, got {n_seeds}")
+    return tuple(base_seed + r for r in range(n_seeds))
+
+
+def replicate_trace(
+    factory: TraceFactory, base_seed: int, n_seeds: int
+) -> tuple[Trace, ...]:
+    """One independent trace draw per replica seed."""
+    return tuple(factory(s) for s in replica_seeds(base_seed, n_seeds))
+
+
+def assert_independent(traces: Sequence[Trace]) -> None:
+    """Guard: replicated traces must be distinct draws.
+
+    A factory that ignores its seed argument would silently turn a
+    replicated experiment into ``n`` copies of one sample; digests catch
+    that at generation time.  (Called by tests and available to drivers;
+    identical seeds legitimately produce identical traces, so only use
+    this on traces generated from *distinct* seeds.)
+    """
+    digests = [t.content_digest() for t in traces]
+    if len(set(digests)) != len(digests):
+        raise ConfigurationError(
+            "replicated traces are not independent draws: a trace factory "
+            "ignored its seed (duplicate content digests)"
+        )

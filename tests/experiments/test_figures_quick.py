@@ -3,6 +3,7 @@ output has the structure the benchmarks rely on."""
 
 import pytest
 
+from repro.metrics.stats import SummaryStats
 from repro.experiments import (
     fig01_motivation,
     fig04_workload_cdfs,
@@ -105,3 +106,59 @@ def test_fig15_cap10_not_worse_than_cap1():
     rows = {row[0]: row for row in result.rows}
     assert rows[1][1] == pytest.approx(1.0)  # normalized to itself
     assert rows[10][1] <= 1.1
+
+
+# -- seed-replicated driver output --------------------------------------
+
+
+@pytest.mark.replicated
+def test_fig05_replicated_cells_carry_ci_bands():
+    result = fig05_google.run(
+        "quick", utilization_targets=(1.0,), n_seeds=2
+    )
+    cell = result.column("short p50")[0]
+    assert isinstance(cell, SummaryStats)
+    assert cell.n == 2
+    assert cell.ci_lo <= cell.mean <= cell.ci_hi
+    assert "±" in result.render()
+    assert any("2 matched seed replicas" in note for note in result.notes)
+    # column_means collapses aggregated cells for trend assertions
+    assert result.column_means("short p50")[0] == cell.mean
+
+
+@pytest.mark.replicated
+def test_fig07_replicated_keeps_stealing_claim():
+    result = fig07_ablation.run("quick", n_seeds=2)
+    rows = {row[0]: row for row in result.rows}
+    no_steal_p90 = rows["hawk-no-stealing"][2]
+    assert isinstance(no_steal_p90, SummaryStats)
+    assert no_steal_p90.mean > 1.0  # stealing still matters on average
+
+
+@pytest.mark.replicated
+def test_fig15_replicated_normalizes_within_replicas():
+    result = fig15_stealing_cap.run("quick", caps=(1, 10), n_seeds=2)
+    rows = {row[0]: row for row in result.rows}
+    cap1 = rows[1][1]
+    # every replica normalizes to its own cap=1 run: exactly 1, zero CI
+    assert cap1.mean == pytest.approx(1.0)
+    assert cap1.ci_half == pytest.approx(0.0, abs=1e-12)
+    assert isinstance(rows[1][3], float)  # steal success rate stays a mean
+
+
+@pytest.mark.replicated
+def test_fig12_13_replicated_long_fraction_is_mean_over_draws():
+    result = fig12_13_cutoff.run("quick", cutoffs=(750.0,), n_seeds=2)
+    fraction = result.column("% jobs long")[0]
+    assert isinstance(fraction, float) and 0.0 < fraction < 100.0
+    assert isinstance(result.column("long p50")[0], SummaryStats)
+
+
+@pytest.mark.replicated
+def test_tables_replicated_report_ci_over_trace_draws():
+    result = tables.run_table1("quick", n_seeds=2)
+    ours = result.column("% task-sec (ours)")
+    assert all(isinstance(v, SummaryStats) for v in ours)
+    assert all(50.0 < v.mean <= 100.0 for v in ours)
+    jobs = tables.run_table2("quick", n_seeds=2).column("jobs (ours)")
+    assert all(isinstance(c, int) for c in jobs)  # fixed by the generator

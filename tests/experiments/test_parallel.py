@@ -1,18 +1,24 @@
 """Tests for the sweep executor and the two-tier run cache."""
 
+import os
 import pickle
+import time
 
 import pytest
 
+from repro.core.errors import ConfigurationError
 from repro.experiments.config import RunSpec
 from repro.experiments.parallel import (
     CACHE_VERSION,
+    DISK_CACHE_MAX_MB_ENV,
     DiskCache,
     SweepExecutor,
+    _max_bytes_from_env,
     cache_key,
+    replica_pairs,
     set_executor,
 )
-from repro.experiments.runner import run_cached
+from repro.experiments.runner import run_cached, run_replicated
 from repro.experiments.sweeps import sweep
 from repro.workloads.spec import JobSpec, Trace
 from tests.conftest import TEST_CUTOFF, long_job, short_job
@@ -172,6 +178,219 @@ def test_run_results_pickle_round_trip(executor):
     assert clone == res
     assert clone.stealing == res.stealing
     assert clone.median_utilization() == res.median_utilization()
+
+
+# -- seed replication --------------------------------------------------------
+def test_replica_pairs_degenerate_single_seed():
+    """n_seeds=1 expands to exactly the historical (spec, trace) pair."""
+    trace = small_trace()
+    pairs = replica_pairs(SPEC, trace, 1)
+    assert pairs == [(SPEC, trace)]
+    assert pairs[0][0] is SPEC and pairs[0][1] is trace
+
+
+def test_replica_pairs_offset_seeds_and_factory_traces():
+    base = SPEC.with_(seed=7)
+    trace = small_trace()
+    drawn = []
+
+    def factory(seed):
+        drawn.append(seed)
+        return Trace([short_job(seed, 0.0)], name=f"draw-{seed}")
+
+    pairs = replica_pairs(base, trace, 3, factory)
+    assert [s.seed for s, _ in pairs] == [7, 8, 9]
+    assert pairs[0][1] is trace  # replica 0 keeps the given trace
+    assert drawn == [8, 9]
+    digests = {t.content_digest() for _, t in pairs}
+    assert len(digests) == 3  # independent draws
+
+
+def test_run_replicated_distinct_cache_keys_and_results(executor):
+    trace = small_trace()
+    results = run_replicated_via(executor, SPEC, trace, 3)
+    assert executor.executions == 3  # one run per replica, no dedupe
+    keys = {
+        cache_key(s, t) for s, t in replica_pairs(SPEC, trace, 3)
+    }
+    assert len(keys) == 3
+    # replica 0 is the plain single-seed run, served from the memo now
+    assert executor.run_one(SPEC, trace) is results[0]
+    assert executor.executions == 3
+
+
+def run_replicated_via(executor, spec, trace, n_seeds, trace_factory=None):
+    return executor.run_replicated(spec, trace, n_seeds, trace_factory)
+
+
+def test_run_replicated_module_helper_uses_default_executor(tmp_path):
+    injected = SweepExecutor(max_workers=1, disk_cache=DiskCache(tmp_path))
+    previous = set_executor(injected)
+    try:
+        trace = small_trace()
+        results = run_replicated(SPEC, trace, 2)
+        assert len(results) == 2
+        assert injected.executions == 2
+        assert run_cached(SPEC, trace) is results[0]
+    finally:
+        set_executor(previous)
+
+
+# -- determinism: serial vs pool vs cache round-trip --------------------------
+def _determinism_spec():
+    return RunSpec(
+        scheduler="hawk",
+        n_workers=5,
+        cutoff=TEST_CUTOFF,
+        short_partition_fraction=0.25,
+        seed=3,
+    )
+
+
+def test_same_seed_bit_identical_serial_pool_and_cache_round_trip(tmp_path):
+    """Same seed ⇒ the same RunResult bytes on every execution path."""
+    spec, trace = _determinism_spec(), small_trace()
+    serial = SweepExecutor(max_workers=1, disk_cache=None)
+    rerun = SweepExecutor(max_workers=1, disk_cache=None)
+    pool = SweepExecutor(max_workers=2, disk_cache=None)
+    disk = DiskCache(tmp_path)
+    writer = SweepExecutor(max_workers=1, disk_cache=disk)
+    try:
+        reference = serial.run_one(spec, trace)
+        repeated = rerun.run_one(spec, trace)
+        # two submissions so the pool path actually fans out
+        pooled = pool.run_many([(spec, trace), (SPEC, trace)])[0]
+        writer.run_one(spec, trace)
+    finally:
+        pool.close()
+    reader = SweepExecutor(max_workers=1, disk_cache=disk)
+    from_disk = reader.run_one(spec, trace)
+    assert (reader.executions, reader.disk_hits) == (0, 1)
+
+    blob = pickle.dumps(reference)
+    assert pickle.dumps(repeated) == blob
+    assert pickle.dumps(pooled) == blob
+    assert pickle.dumps(from_disk) == blob
+
+
+def test_replicas_are_deterministic_but_distinct(executor):
+    # Hawk with stealing: seeds drive victim sampling, so replicas must
+    # actually differ (Sparrow on this tiny trace happens not to).
+    spec, trace = _determinism_spec(), small_trace()
+    first = run_replicated_via(executor, spec, trace, 3)
+    again = run_replicated_via(
+        SweepExecutor(max_workers=1, disk_cache=None), spec, trace, 3
+    )
+    for a, b in zip(first, again):
+        assert pickle.dumps(a) == pickle.dumps(b)
+    # different seeds are independent draws: at least one replica differs
+    assert any(r != first[0] for r in first[1:])
+
+
+# -- disk-cache size cap ------------------------------------------------------
+def _fill(cache, executor, traces):
+    keys = []
+    for i, trace in enumerate(traces):
+        executor.run_one(SPEC, trace)
+        key = cache_key(SPEC, trace)
+        keys.append(key)
+        # strictly increasing mtimes so LRU order is unambiguous
+        os.utime(cache.path(key), (1000.0 + i, 1000.0 + i))
+    return keys
+
+
+def test_cap_evicts_least_recently_used_first(tmp_path):
+    traces = [small_trace() for _ in range(3)]
+    traces = [
+        Trace(list(t) + [short_job(50 + i, 40.0)], name=f"t{i}")
+        for i, t in enumerate(traces)
+    ]
+    probe_cache = DiskCache(tmp_path)
+    executor = SweepExecutor(max_workers=1, disk_cache=probe_cache)
+    keys = _fill(probe_cache, executor, traces)
+    entry_size = probe_cache.path(keys[0]).stat().st_size
+
+    capped = DiskCache(tmp_path, max_bytes=2 * entry_size + entry_size // 2)
+    removed = capped.enforce_cap()
+    assert removed == 1
+    assert not capped.path(keys[0]).exists()  # oldest mtime evicted
+    assert capped.path(keys[1]).exists() and capped.path(keys[2]).exists()
+    assert capped.total_bytes() <= capped.max_bytes
+    assert capped.evictions == 1
+
+
+def test_hit_refreshes_recency_so_lru_survives(tmp_path):
+    traces = [
+        Trace([short_job(60 + i, float(i))], name=f"lru{i}") for i in range(3)
+    ]
+    cache = DiskCache(tmp_path)
+    executor = SweepExecutor(max_workers=1, disk_cache=cache)
+    keys = _fill(cache, executor, traces)
+    entry_size = cache.path(keys[0]).stat().st_size
+
+    # touch entry 0 via a cache hit: it becomes the most recent
+    assert cache.load(keys[0]) is not None
+    assert cache.path(keys[0]).stat().st_mtime >= time.time() - 60
+
+    capped = DiskCache(tmp_path, max_bytes=entry_size + entry_size // 2)
+    capped.enforce_cap()
+    assert capped.path(keys[0]).exists()  # hit saved it
+    assert not capped.path(keys[1]).exists()
+    assert not capped.path(keys[2]).exists()
+
+
+def test_store_enforces_cap_but_keeps_fresh_entry(tmp_path):
+    trace_a, trace_b = (
+        Trace([short_job(70, 0.0)], name="cap-a"),
+        Trace([short_job(71, 0.0)], name="cap-b"),
+    )
+    unbounded = SweepExecutor(max_workers=1, disk_cache=DiskCache(tmp_path))
+    unbounded.run_one(SPEC, trace_a)
+    entry_size = DiskCache(tmp_path).path(cache_key(SPEC, trace_a)).stat().st_size
+
+    capped = DiskCache(tmp_path, max_bytes=entry_size + entry_size // 2)
+    executor = SweepExecutor(max_workers=1, disk_cache=capped)
+    executor.run_one(SPEC, trace_b)  # store triggers eviction of a
+    assert capped.path(cache_key(SPEC, trace_b)).exists()
+    assert not capped.path(cache_key(SPEC, trace_a)).exists()
+    assert capped.total_bytes() <= capped.max_bytes
+
+
+def test_cap_covers_stale_version_directories(tmp_path):
+    cache = DiskCache(tmp_path)
+    executor = SweepExecutor(max_workers=1, disk_cache=cache)
+    executor.run_one(SPEC, small_trace())
+    key = cache_key(SPEC, small_trace())
+    entry_size = cache.path(key).stat().st_size
+    stale_dir = tmp_path / "v0"
+    stale_dir.mkdir()
+    stale = stale_dir / "old.pkl"
+    stale.write_bytes(b"x" * entry_size)
+    os.utime(stale, (1.0, 1.0))  # much older than the live entry
+
+    capped = DiskCache(tmp_path, max_bytes=entry_size + entry_size // 2)
+    assert capped.total_bytes() == entry_size + cache.path(key).stat().st_size
+    capped.enforce_cap()
+    assert not stale.exists()  # stale-version entries evicted first
+    assert cache.path(key).exists()
+
+
+def test_max_bytes_env_parsing(monkeypatch):
+    monkeypatch.delenv(DISK_CACHE_MAX_MB_ENV, raising=False)
+    assert _max_bytes_from_env() is None
+    monkeypatch.setenv(DISK_CACHE_MAX_MB_ENV, "1.5")
+    assert _max_bytes_from_env() == int(1.5 * 1024 * 1024)
+    monkeypatch.setenv(DISK_CACHE_MAX_MB_ENV, "nope")
+    with pytest.raises(ConfigurationError):
+        _max_bytes_from_env()
+    monkeypatch.setenv(DISK_CACHE_MAX_MB_ENV, "0")
+    with pytest.raises(ConfigurationError):
+        _max_bytes_from_env()
+
+
+def test_negative_max_bytes_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        DiskCache(tmp_path, max_bytes=-1)
 
 
 # -- default-executor plumbing ----------------------------------------------

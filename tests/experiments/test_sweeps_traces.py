@@ -3,14 +3,28 @@
 import pytest
 
 from repro.cluster.job import JobClass
+from repro.core.errors import ConfigurationError
 from repro.experiments.config import RunSpec
-from repro.experiments.sweeps import compare_at_size, extra_metrics, sweep
+from repro.experiments.sweeps import (
+    ReplicatedPoint,
+    compare_at_size,
+    extra_metrics,
+    sweep,
+)
 from repro.experiments.traces import (
     ALL_WORKLOAD_SPECS,
     google_cutoff,
     google_short_fraction,
     google_trace,
+    google_trace_factory,
+    kmeans_trace_factory,
     kmeans_workload_trace,
+)
+from repro.metrics.stats import SummaryStats
+from repro.workloads.replication import (
+    assert_independent,
+    replica_seeds,
+    replicate_trace,
 )
 from repro.workloads.spec import Trace
 from tests.conftest import TEST_CUTOFF, long_job, short_job
@@ -55,6 +69,87 @@ def test_extra_metrics_bounded(small_trace):
     frac, avg = extra_metrics(point, JobClass.SHORT)
     assert 0.0 <= frac <= 1.0
     assert avg > 0
+
+
+def _fresh_trace(seed: int) -> Trace:
+    """A tiny factory whose draws differ per seed (job ids carry it)."""
+    jobs = [long_job(0, 0.0, 4), long_job(1, 1.0, 4)]
+    jobs += [short_job(10 + seed * 100 + i, float(i)) for i in range(8)]
+    return Trace(jobs, name=f"fresh-{seed}")
+
+
+def test_sweep_replicated_returns_matched_aggregates(small_trace):
+    points = sweep(
+        small_trace, (8,), HAWK, SPARROW, n_seeds=3, trace_factory=_fresh_trace
+    )
+    assert len(points) == 1
+    point = points[0]
+    assert isinstance(point, ReplicatedPoint)
+    assert point.n_seeds == 3
+    assert point.seeds == replica_seeds(HAWK.seed, 3)
+    # each replica carries a full candidate/baseline pair of runs
+    for replica in point.replicas:
+        assert replica.candidate != replica.baseline
+        assert len(replica.candidate.jobs) == len(replica.baseline.jobs)
+    stats = point.stat("short_p50_ratio")
+    assert isinstance(stats, SummaryStats)
+    assert stats.n == 3
+    assert stats.ci_lo <= stats.mean <= stats.ci_hi
+    assert isinstance(point.cell("short_p50_ratio"), SummaryStats)
+
+
+def test_single_seed_sweep_is_degenerate_replication(small_trace):
+    """n_seeds=1 carries the historical scalar values bit-for-bit."""
+    point = sweep(small_trace, (8,), HAWK, SPARROW)[0]
+    assert point.n_seeds == 1
+    replica = point.replicas[0]
+    assert point.short_p50_ratio == replica.short_p50_ratio
+    assert point.baseline_median_utilization == replica.baseline_median_utilization
+    assert point.cell("short_p50_ratio") == replica.short_p50_ratio
+    assert isinstance(point.cell("short_p50_ratio"), float)
+    assert point.candidate is replica.candidate
+    stats = point.stat("long_p90_ratio")
+    assert stats.ci_lo == stats.ci_hi == replica.long_p90_ratio
+
+
+def test_extra_metrics_aggregates_over_replicas(small_trace):
+    single = sweep(small_trace, (8,), HAWK, SPARROW)[0]
+    replicated = sweep(
+        small_trace, (8,), HAWK, SPARROW, n_seeds=2, trace_factory=_fresh_trace
+    )[0]
+    frac_1, avg_1 = extra_metrics(single, JobClass.SHORT)
+    frac_n, avg_n = extra_metrics(replicated, JobClass.SHORT)
+    # replica 0 of the replicated point is the single-seed run
+    assert extra_metrics(replicated.replicas[0], JobClass.SHORT) == (
+        frac_1,
+        avg_1,
+    )
+    assert 0.0 <= frac_n <= 1.0 and avg_n > 0
+
+
+def test_aggregate_applies_metric_per_matched_replica(small_trace):
+    point = sweep(
+        small_trace, (8,), HAWK, SPARROW, n_seeds=2, trace_factory=_fresh_trace
+    )[0]
+    stats = point.aggregate(
+        lambda cand, base: len(cand.jobs) / len(base.jobs)
+    )
+    assert stats.n == 2
+    assert stats.mean == pytest.approx(1.0)  # same trace within a replica
+
+
+def test_trace_factories_draw_independent_traces():
+    factory = google_trace_factory("quick")
+    draws = replicate_trace(factory, 0, 3)
+    assert_independent(draws)
+    assert draws[0] is google_trace("quick", 0)  # shared per-process cache
+    kfactory = kmeans_trace_factory(ALL_WORKLOAD_SPECS[0], "quick")
+    assert_independent(replicate_trace(kfactory, 0, 2))
+
+
+def test_assert_independent_rejects_seed_blind_factory(small_trace):
+    with pytest.raises(ConfigurationError):
+        assert_independent(replicate_trace(lambda seed: small_trace, 0, 2))
 
 
 def test_google_trace_cached_per_scale_and_seed():
