@@ -9,11 +9,11 @@ def test_fig14_misestimation(benchmark):
         benchmark,
         fig14_misestimation.run,
         "fig14.txt",
-        repetitions=3,
+        n_seeds=3,
     )
     assert len(result.rows) == 7
-    long_p50 = result.column("long p50")
-    short_p50 = result.column("short p50")
+    long_p50 = result.column_means("long p50")
+    short_p50 = result.column_means("short p50")
     # Hawk is robust: even the widest mis-estimation (0.1-1.9) keeps the
     # long-job ratios within a moderate band of the narrowest (0.7-1.3).
     assert max(long_p50) / min(long_p50) < 1.8

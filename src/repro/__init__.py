@@ -24,13 +24,18 @@ from repro.cluster import (
 )
 from repro.metrics import compare_runs, percentile
 from repro.schedulers import (
+    BatchSamplingScheduler,
     CentralizedScheduler,
     ExactEstimation,
     HawkScheduler,
+    OmniscientScheduler,
+    Param,
     SparrowScheduler,
     SplitScheduler,
     UniformMisestimation,
     WorkStealing,
+    register_policy,
+    registry,
 )
 from repro.workloads import (
     GoogleTraceConfig,
@@ -45,6 +50,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchSamplingScheduler",
     "CentralizedScheduler",
     "Cluster",
     "ClusterEngine",
@@ -56,6 +62,8 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "MotivationConfig",
+    "OmniscientScheduler",
+    "Param",
     "Partition",
     "RunResult",
     "SparrowScheduler",
@@ -68,5 +76,7 @@ __all__ = [
     "kmeans_trace",
     "motivation_trace",
     "percentile",
+    "register_policy",
+    "registry",
     "__version__",
 ]

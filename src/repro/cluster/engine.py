@@ -72,7 +72,12 @@ class ClusterEngine:
         self.scheduler = scheduler
         self.config = config
         self.stealing = stealing
-        self.estimate = estimate or (lambda spec: spec.mean_task_duration)
+        estimate = estimate or (lambda spec: spec.mean_task_duration)
+        # Estimators exposing a ``seeded(run_seed)`` hook (e.g.
+        # UniformMisestimation) are specialized to this run's seed so
+        # seed replicas draw independent estimator noise.
+        seeded = getattr(estimate, "seeded", None)
+        self.estimate = seeded(config.seed) if callable(seeded) else estimate
         self.sim = Simulation()
         self.network = NetworkModel(config.network_delay)
         self._busy = 0

@@ -1,20 +1,24 @@
-"""Run specifications shared by every experiment driver."""
+"""Run specifications shared by every experiment driver.
+
+Construction is registry-driven (:mod:`repro.schedulers.registry`):
+``RunSpec`` v2 names a registered policy and carries a frozen,
+schema-validated ``params`` mapping; :func:`build_engine` is a pure
+registry lookup.  Adding a scheduler therefore never touches this
+module — register it and every sweep, figure driver and cache key
+accepts it.
+"""
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.cluster import Cluster, ClusterEngine, EngineConfig
+from repro.cluster import ClusterEngine
 from repro.cluster.records import RunResult
 from repro.core.errors import ConfigurationError
-from repro.schedulers import (
-    CentralizedScheduler,
-    HawkScheduler,
-    SparrowScheduler,
-    SplitScheduler,
-    WorkStealing,
-)
+from repro.schedulers import registry
+from repro.schedulers.registry import FrozenParams
 from repro.workloads.replication import replica_seeds
 from repro.workloads.spec import Trace
 
@@ -27,48 +31,53 @@ GOOGLE_UTILIZATION_TARGETS = (1.25, 1.0, 0.8, 0.65, 0.5, 0.35)
 #: (Figures 7, 12-15); corresponds to the paper's 15000-node setting.
 HIGH_LOAD_TARGET = 1.0
 
-#: Scheduler names accepted by :class:`RunSpec`.
-SCHEDULER_NAMES = (
-    "hawk",
-    "sparrow",
-    "centralized",
-    "split",
-    "hawk-no-centralized",
-    "hawk-no-partition",
-    "hawk-no-stealing",
-)
-
-#: Schedulers that use the work-stealing runtime mechanism.
-_STEALING = {"hawk", "hawk-no-centralized", "hawk-no-partition"}
-
-#: Schedulers that reserve a short partition.
-_PARTITIONED = {"hawk", "split", "hawk-no-centralized", "hawk-no-stealing"}
-
 
 @dataclass(frozen=True, slots=True)
 class RunSpec:
-    """Everything needed to build one engine run (minus the trace)."""
+    """Everything needed to build one engine run (minus the trace).
+
+    ``scheduler`` must name a registered policy; ``params`` holds that
+    policy's knobs (e.g. ``probe_ratio``, ``steal_cap``, a scenario
+    policy's ``batch_size``) and is validated against the registry
+    schema at construction — unknown names, wrong types and
+    out-of-range values all fail fast.  The stored mapping is frozen
+    and canonically ordered, so equality, hashing and the run-cache key
+    are independent of params-dict insertion order, and undeclared
+    params are pinned at their schema defaults (two specs differing
+    only in an omitted-vs-explicit default are the *same* spec).
+    """
 
     scheduler: str
     n_workers: int
     cutoff: float
     short_partition_fraction: float = 0.17
     seed: int = 0
-    probe_ratio: int = 2
-    steal_cap: int = 10
+    params: Mapping = FrozenParams()
     estimate: Callable | None = field(default=None, compare=False)
     #: Opaque tag making otherwise-equal specs distinct in the run cache
-    #: (used when ``estimate`` differs).
+    #: (required whenever ``estimate`` is set: callables have no stable
+    #: content, so the tag is their cache-visible identity).
     estimate_tag: str = "exact"
 
     def __post_init__(self) -> None:
-        if self.scheduler not in SCHEDULER_NAMES:
-            raise ConfigurationError(
-                f"unknown scheduler {self.scheduler!r}; "
-                f"expected one of {SCHEDULER_NAMES}"
-            )
+        # Raises ConfigurationError for unknown policies/params and
+        # canonicalizes the mapping (defaults filled, keys sorted).
+        object.__setattr__(
+            self, "params", registry.validate_params(self.scheduler, self.params)
+        )
         if self.n_workers <= 0:
             raise ConfigurationError("n_workers must be positive")
+        if self.estimate is not None and self.estimate_tag == "exact":
+            raise ConfigurationError(
+                "a custom estimate callable requires a non-'exact' "
+                "estimate_tag: the tag is the estimator's identity in the "
+                "run-cache key, and leaving it at the default would let "
+                "different estimators silently share cached results"
+            )
+
+    def param(self, name: str):
+        """One validated param value (defaults filled in)."""
+        return self.params[name]
 
     def with_(self, **changes) -> "RunSpec":
         return replace(self, **changes)
@@ -87,30 +96,13 @@ class RunSpec:
 
 
 def build_engine(spec: RunSpec) -> ClusterEngine:
-    """Construct the cluster, policy and stealing mechanism for a spec."""
-    partition_fraction = (
-        spec.short_partition_fraction if spec.scheduler in _PARTITIONED else 0.0
-    )
-    cluster = Cluster(spec.n_workers, short_partition_fraction=partition_fraction)
-    if spec.scheduler == "sparrow":
-        scheduler = SparrowScheduler(probe_ratio=spec.probe_ratio)
-    elif spec.scheduler == "centralized":
-        scheduler = CentralizedScheduler()
-    elif spec.scheduler == "split":
-        scheduler = SplitScheduler(probe_ratio=spec.probe_ratio)
-    elif spec.scheduler == "hawk-no-centralized":
-        scheduler = HawkScheduler(
-            probe_ratio=spec.probe_ratio, centralize_long=False
-        )
-    else:  # hawk, hawk-no-partition, hawk-no-stealing
-        scheduler = HawkScheduler(probe_ratio=spec.probe_ratio)
-    stealing = (
-        WorkStealing(cap=spec.steal_cap) if spec.scheduler in _STEALING else None
-    )
-    config = EngineConfig(cutoff=spec.cutoff, seed=spec.seed)
-    return ClusterEngine(
-        cluster, scheduler, config, stealing=stealing, estimate=spec.estimate
-    )
+    """Construct the cluster, policy and mechanisms for a spec.
+
+    Pure registry lookup: the policy's entry supplies the builder and
+    the capability flags that decide partitioning and work stealing (see
+    :func:`repro.schedulers.registry.build_engine`).
+    """
+    return registry.build_engine(spec)
 
 
 def execute(spec: RunSpec, trace: Trace) -> RunResult:

@@ -22,9 +22,9 @@ from repro.experiments.traces import (
 )
 from repro.metrics.comparison import normalized_percentile
 from repro.metrics.stats import paired_cell
+from repro.schedulers import registry
 from repro.workloads.replication import replica_seeds
 
-VARIANTS = ("hawk-no-centralized", "hawk-no-partition", "hawk-no-stealing")
 
 
 def run(
@@ -33,6 +33,10 @@ def run(
     load_target: float = HIGH_LOAD_TARGET,
     n_seeds: int = 1,
 ) -> FigureResult:
+    # The ablation family comes straight off the policy registry, read
+    # at run time: any policy registered with ``ablation_of="hawk"`` —
+    # including one registered outside this package — joins the figure.
+    variants = registry.ablations_of("hawk")
     trace = google_trace(scale, seed)
     cutoff = google_cutoff()
     n = high_load_size(trace, load_target)
@@ -54,14 +58,14 @@ def run(
         replica_base = base_spec.with_(seed=s)
         batch.append((replica_base, replica_trace))
         batch.extend(
-            (replica_base.with_(scheduler=v), replica_trace) for v in VARIANTS
+            (replica_base.with_(scheduler=v), replica_trace) for v in variants
         )
     results = get_executor().run_many(batch)
-    stride = 1 + len(VARIANTS)
+    stride = 1 + len(variants)
     bases = [results[r * stride] for r in range(n_seeds)]
     per_variant = {
         v: [results[r * stride + 1 + i] for r in range(n_seeds)]
-        for i, v in enumerate(VARIANTS)
+        for i, v in enumerate(variants)
     }
 
     result = FigureResult(
@@ -77,7 +81,7 @@ def run(
             bases,
         )
 
-    for variant in VARIANTS:
+    for variant in variants:
         runs = per_variant[variant]
         result.add_row(
             variant,
@@ -90,6 +94,6 @@ def run(
     if n_seeds > 1:
         result.add_note(
             f"aggregated over {n_seeds} matched seed replicas; "
-            "cells are mean±95% CI half-width"
+            "cells are mean±95% CI half-width (p: paired t vs ratio 1)"
         )
     return result

@@ -99,6 +99,6 @@ def run(
     if n_seeds > 1:
         result.add_note(
             f"aggregated over {n_seeds} matched seed replicas; "
-            "ratio cells are mean±95% CI half-width"
+            "ratio cells are mean±95% CI half-width (p: paired t vs ratio 1)"
         )
     return result

@@ -47,7 +47,7 @@ def run(
             cutoff=cutoff,
             short_partition_fraction=google_short_fraction(),
             seed=s,
-            steal_cap=cap,
+            params={"steal_cap": cap},
         )
 
     # One batch: cap=1 plus the whole sweep, per replica seed (the
@@ -89,6 +89,6 @@ def run(
     if n_seeds > 1:
         result.add_note(
             f"aggregated over {n_seeds} matched seed replicas; "
-            "ratio cells are mean±95% CI half-width"
+            "ratio cells are mean±95% CI half-width (p: paired t vs ratio 1)"
         )
     return result

@@ -58,7 +58,10 @@ from repro.workloads.replication import TraceFactory
 from repro.workloads.spec import Trace
 
 #: Bump to invalidate every persisted run at once (see module docstring).
-CACHE_VERSION = 1
+#: v2: RunSpec v2 — policy params moved into the registry-validated
+#: ``params`` mapping (canonically ordered in the key) and estimators
+#: gained the seed-derived noise hook.
+CACHE_VERSION = 2
 
 WORKERS_ENV = "REPRO_EXECUTOR_WORKERS"
 DISK_CACHE_ENV = "REPRO_RUNCACHE"
@@ -88,6 +91,10 @@ def spec_digest(spec: RunSpec) -> str:
     ``estimate`` is excluded (callables have no stable content); as in
     spec equality, ``estimate_tag`` is its cache-visible stand-in, so
     specs carrying different estimators must carry different tags.
+    ``params`` is a :class:`~repro.schedulers.registry.FrozenParams`
+    whose repr is canonically ordered with defaults filled, so the
+    digest is independent of params-dict insertion order and of
+    omitted-vs-explicit defaults.
     """
     parts = [
         f"{f.name}={getattr(spec, f.name)!r}"

@@ -9,12 +9,20 @@ from repro.core.errors import ConfigurationError
 from repro.metrics.stats import SummaryStats
 
 
+def _format_p(p: float) -> str:
+    return "<0.001" if p < 0.001 else f"{p:.3f}"
+
+
 def _format_cell(value) -> str:
     if isinstance(value, SummaryStats):
-        # Aggregated replicas render as mean±(CI half-width); a plain
-        # float cell (the single-seed path) is untouched, keeping
+        # Aggregated replicas render as mean±(CI half-width), plus the
+        # paired-t p-value when the metric has a null hypothesis; a
+        # plain float cell (the single-seed path) is untouched, keeping
         # single-seed tables bit-identical to the historical output.
-        return f"{_format_cell(value.mean)}±{_format_cell(value.ci_half)}"
+        cell = f"{_format_cell(value.mean)}±{_format_cell(value.ci_half)}"
+        if value.p_value is not None:
+            cell += f" (p={_format_p(value.p_value)})"
+        return cell
     if isinstance(value, float):
         if value == 0:
             return "0"

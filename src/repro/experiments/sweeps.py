@@ -63,6 +63,11 @@ POINT_METRICS = (
     "long_p90_ratio",
 )
 
+#: The subset of :data:`POINT_METRICS` that are candidate/baseline
+#: ratios — their replica statistics carry a paired-t p-value against
+#: parity (null = 1.0).  Utilization is a magnitude: no null applies.
+RATIO_METRICS = frozenset(m for m in POINT_METRICS if m.endswith("_ratio"))
+
 
 @dataclass(frozen=True, slots=True)
 class ReplicatedPoint:
@@ -124,9 +129,15 @@ class ReplicatedPoint:
 
     # -- replica statistics ---------------------------------------------
     def stat(self, metric: str, confidence: float = 0.95) -> SummaryStats:
-        """Replica statistics of one named :data:`POINT_METRICS` entry."""
+        """Replica statistics of one named :data:`POINT_METRICS` entry.
+
+        Ratio metrics additionally carry the paired-t p-value against
+        parity (the per-replica ratios are matched-pair samples, so the
+        one-sample test on them *is* the paired test).
+        """
+        null = 1.0 if metric in RATIO_METRICS else None
         return summarize(
-            [getattr(r, metric) for r in self.replicas], confidence
+            [getattr(r, metric) for r in self.replicas], confidence, null=null
         )
 
     def cell(self, metric: str) -> float | SummaryStats:

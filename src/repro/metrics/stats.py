@@ -156,6 +156,29 @@ def t_ppf(q: float, dof: int) -> float:
     return 0.5 * (lo + hi)
 
 
+def t_test_pvalue(values: Sequence[float], null: float) -> float:
+    """Two-sided one-sample Student-t p-value for ``mean(values) == null``.
+
+    Fed with matched-pair metric values (one per replica) this is the
+    paired t-test: for per-replica candidate/baseline *ratios* the
+    natural null is 1.0 (parity), for differences 0.0.  Degenerate
+    cases: a single sample carries no dispersion information (p = 1.0);
+    zero sample variance yields 0.0 unless the mean equals the null
+    exactly.
+    """
+    n = len(values)
+    if not values:
+        raise ConfigurationError("cannot t-test no values")
+    m = mean(values)
+    if n == 1:
+        return 1.0
+    s = stdev(values)
+    if s == 0.0:
+        return 1.0 if m == null else 0.0
+    t = (m - null) / (s / sqrt(n))
+    return 2.0 * (1.0 - t_cdf(abs(t), n - 1))
+
+
 def t_confidence_interval(
     values: Sequence[float], confidence: float = DEFAULT_CONFIDENCE
 ) -> tuple[float, float]:
@@ -180,7 +203,13 @@ def t_confidence_interval(
 # -- aggregation --------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class SummaryStats:
-    """Sample statistics of one metric across replicas."""
+    """Sample statistics of one metric across replicas.
+
+    ``p_value`` is set when the metric has a natural null hypothesis
+    (e.g. 1.0 for candidate/baseline ratios): the two-sided paired-t
+    p-value of the replica values against that null.  ``None`` means no
+    null applies (plain magnitudes) or there is only one replica.
+    """
 
     n: int
     mean: float
@@ -189,6 +218,7 @@ class SummaryStats:
     ci_lo: float
     ci_hi: float
     confidence: float = DEFAULT_CONFIDENCE
+    p_value: float | None = None
 
     @property
     def ci_half(self) -> float:
@@ -197,10 +227,23 @@ class SummaryStats:
 
 
 def summarize(
-    values: Sequence[float], confidence: float = DEFAULT_CONFIDENCE
+    values: Sequence[float],
+    confidence: float = DEFAULT_CONFIDENCE,
+    null: float | None = None,
 ) -> SummaryStats:
-    """All replica statistics for one metric."""
+    """All replica statistics for one metric.
+
+    With ``null`` set, the summary also carries the two-sided
+    :func:`t_test_pvalue` of the values against that null (reported
+    next to the CI band by the table renderer); a single replica has no
+    dispersion information, so its p-value stays ``None``.
+    """
     lo, hi = t_confidence_interval(values, confidence)
+    p_value = (
+        t_test_pvalue(values, null)
+        if null is not None and len(values) > 1
+        else None
+    )
     return SummaryStats(
         n=len(values),
         mean=mean(values),
@@ -209,6 +252,7 @@ def summarize(
         ci_lo=lo,
         ci_hi=hi,
         confidence=confidence,
+        p_value=p_value,
     )
 
 
@@ -235,14 +279,26 @@ def paired_values(
     return [metric(c, b) for c, b in zip(candidates, baselines)]
 
 
+#: Null hypothesis for paired comparison *ratios*: parity.
+RATIO_NULL = 1.0
+
+
 def paired_summary(
     metric: Callable[[T, T], float],
     candidates: Sequence[T],
     baselines: Sequence[T],
     confidence: float = DEFAULT_CONFIDENCE,
+    null: float | None = RATIO_NULL,
 ) -> SummaryStats:
-    """Matched-seed pairing followed by :func:`summarize`."""
-    return summarize(paired_values(metric, candidates, baselines), confidence)
+    """Matched-seed pairing followed by :func:`summarize`.
+
+    The default ``null`` of 1.0 fits the normalized-ratio metrics every
+    figure reports (candidate == baseline); pass ``null=None`` for
+    metrics without a parity hypothesis.
+    """
+    return summarize(
+        paired_values(metric, candidates, baselines), confidence, null=null
+    )
 
 
 def paired_cell(
@@ -250,16 +306,18 @@ def paired_cell(
     candidates: Sequence[T],
     baselines: Sequence[T],
     confidence: float = DEFAULT_CONFIDENCE,
+    null: float | None = RATIO_NULL,
 ) -> float | SummaryStats:
     """Matched-pair table cell: plain value or replica statistics.
 
     A single matched pair yields the metric value itself (bit-identical
     to the unreplicated path, and rendered as a plain number); several
-    pairs yield a :class:`SummaryStats` rendered as ``mean±ci``.  Shared
+    pairs yield a :class:`SummaryStats` rendered as ``mean±ci (p=...)``
+    — the paired-t p-value against ``null`` (parity by default).  Shared
     by the figure drivers that aggregate run lists directly rather than
     through :class:`~repro.experiments.sweeps.ReplicatedPoint`.
     """
     values = paired_values(metric, candidates, baselines)
     if len(values) == 1:
         return values[0]
-    return summarize(values, confidence)
+    return summarize(values, confidence, null=null)

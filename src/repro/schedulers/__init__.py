@@ -1,22 +1,38 @@
-"""Scheduler policies: Hawk and every baseline the paper compares against."""
+"""Scheduler policies: Hawk, every baseline the paper compares against,
+and registry-only scenario policies.
 
+Importing this package registers every built-in policy with
+:mod:`repro.schedulers.registry`; new policies register themselves the
+same way (see the registry module docstring) and need no edits here or
+in the experiment layer.
+"""
+
+from repro.schedulers import registry
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.centralized import CentralizedScheduler
 from repro.schedulers.estimator import ExactEstimation, UniformMisestimation
 from repro.schedulers.frontend import ProbeFrontend
 from repro.schedulers.hawk import HawkScheduler
+from repro.schedulers.registry import FrozenParams, Param, register_policy
+from repro.schedulers.scenarios import BatchSamplingScheduler, OmniscientScheduler
 from repro.schedulers.sparrow import SparrowScheduler
 from repro.schedulers.split import SplitScheduler
 from repro.schedulers.stealing import WorkStealing
 
 __all__ = [
+    "BatchSamplingScheduler",
     "CentralizedScheduler",
     "ExactEstimation",
+    "FrozenParams",
     "HawkScheduler",
+    "OmniscientScheduler",
+    "Param",
     "ProbeFrontend",
     "SchedulerPolicy",
     "SparrowScheduler",
     "SplitScheduler",
     "UniformMisestimation",
     "WorkStealing",
+    "register_policy",
+    "registry",
 ]

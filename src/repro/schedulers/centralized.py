@@ -28,16 +28,22 @@ from typing import TYPE_CHECKING
 
 from repro.cluster.cluster import Partition
 from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.registry import register_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.job import Job
     from repro.cluster.task import Task
 
 
+@register_policy("centralized")
 class CentralizedScheduler(SchedulerPolicy):
     """Greedy least-waiting-time placement over a partition."""
 
     name = "centralized"
+
+    @classmethod
+    def from_params(cls, params) -> "CentralizedScheduler":
+        return cls()
 
     def __init__(self, partition: Partition = Partition.ALL) -> None:
         super().__init__()

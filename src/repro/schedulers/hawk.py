@@ -20,16 +20,38 @@ from repro.cluster.cluster import Partition
 from repro.cluster.job import JobClass
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.centralized import CentralizedScheduler
+from repro.schedulers.registry import Param, register_policy
 from repro.schedulers.sparrow import SparrowScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.job import Job
 
+#: Shared schema of the Hawk ablation family: every member declares both
+#: params so a spec can hop between variants (``with_(scheduler=...)``)
+#: without re-declaring its params.  ``steal_cap`` is inert on
+#: ``hawk-no-stealing`` (no stealing mechanism is attached).
+HAWK_PARAMS = (
+    Param("probe_ratio", int, default=2, minimum=1,
+          doc="probes per task for the short-job component"),
+    Param("steal_cap", int, default=10, minimum=1,
+          doc="random victims contacted per stealing round (Figure 15)"),
+)
 
+
+@register_policy(
+    "hawk",
+    params=HAWK_PARAMS,
+    uses_stealing=True,
+    uses_partition=True,
+)
 class HawkScheduler(SchedulerPolicy):
     """Hybrid centralized/distributed scheduling."""
 
     name = "hawk"
+
+    @classmethod
+    def from_params(cls, params) -> "HawkScheduler":
+        return cls(probe_ratio=params["probe_ratio"])
 
     def __init__(
         self,
@@ -81,3 +103,42 @@ class HawkScheduler(SchedulerPolicy):
     @property
     def short_component(self) -> SparrowScheduler:
         return self._short
+
+
+# -- Figure 7 ablation family ------------------------------------------------
+@register_policy(
+    "hawk-no-centralized",
+    params=HAWK_PARAMS,
+    uses_stealing=True,
+    uses_partition=True,
+    ablation_of="hawk",
+    doc="Hawk with long jobs batch-probed instead of centrally placed",
+)
+def _hawk_no_centralized(params) -> HawkScheduler:
+    return HawkScheduler(
+        probe_ratio=params["probe_ratio"], centralize_long=False
+    )
+
+
+@register_policy(
+    "hawk-no-partition",
+    params=HAWK_PARAMS,
+    uses_stealing=True,
+    uses_partition=False,
+    ablation_of="hawk",
+    doc="Hawk without the reserved short partition",
+)
+def _hawk_no_partition(params) -> HawkScheduler:
+    return HawkScheduler(probe_ratio=params["probe_ratio"])
+
+
+@register_policy(
+    "hawk-no-stealing",
+    params=HAWK_PARAMS,
+    uses_stealing=False,
+    uses_partition=True,
+    ablation_of="hawk",
+    doc="Hawk without the work-stealing mechanism",
+)
+def _hawk_no_stealing(params) -> HawkScheduler:
+    return HawkScheduler(probe_ratio=params["probe_ratio"])

@@ -1,0 +1,378 @@
+"""Pluggable policy registry: the open construction API for schedulers.
+
+Every scheduler policy registers itself here with a *name*, a typed
+*parameter schema* and *capability flags*; experiment construction
+(:func:`build_engine`) is a pure registry lookup.  Adding a policy —
+including one living entirely outside this package — therefore never
+touches the experiment layer: register it and every sweep, figure driver
+and cache key picks it up.
+
+A registration consists of
+
+* ``name`` — the string accepted by ``RunSpec.scheduler``;
+* ``params`` — a tuple of :class:`Param` declarations (name, type,
+  default, validation range/choices).  ``RunSpec`` validates its
+  ``params`` mapping against this schema at construction time and
+  canonicalizes it (defaults filled, keys sorted), which is what makes
+  the run-cache key independent of params-dict insertion order;
+* capability flags — ``uses_stealing`` (the engine attaches the
+  :class:`~repro.schedulers.stealing.WorkStealing` mechanism, configured
+  from the policy's declared ``steal_cap`` param) and ``uses_partition``
+  (the cluster reserves ``RunSpec.short_partition_fraction`` of its
+  workers for short tasks).  These replace the closed ``_STEALING`` /
+  ``_PARTITIONED`` name sets that predated the registry;
+* ``ablation_of`` — the base policy this entry is an ablation of
+  (e.g. the ``hawk-no-*`` family names ``"hawk"``), letting drivers such
+  as Figure 7 enumerate an ablation family from the registry.
+
+Policies in an ablation family share one param schema so a spec can hop
+between family members (``spec.with_(scheduler=variant)``) without
+re-declaring params.  A declared-but-inert param (``steal_cap`` on
+``hawk-no-stealing``) is accepted for exactly this reason; keep such
+params at their defaults or the cache key will distinguish runs that are
+semantically identical.
+
+Registering::
+
+    from repro.schedulers.registry import Param, register_policy
+
+    @register_policy(
+        "my-policy",
+        params=(Param("fanout", int, default=4, minimum=1),),
+    )
+    class MyPolicy(SchedulerPolicy):
+        @classmethod
+        def from_params(cls, params):
+            return cls(fanout=params["fanout"])
+
+A class registration uses its ``from_params`` classmethod as the
+builder; a function registration is the builder itself (it receives the
+validated params mapping and returns a policy instance) — used when one
+class backs several registered names, like the Hawk ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.cluster import Cluster, ClusterEngine, EngineConfig
+from repro.core.errors import ConfigurationError
+from repro.schedulers.stealing import WorkStealing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.schedulers.base import SchedulerPolicy
+
+#: Types a policy parameter may declare.
+PARAM_TYPES = (int, float, bool, str)
+
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    """One declared policy parameter: name, type, default, valid range."""
+
+    name: str
+    type: type
+    default: Any
+    minimum: float | None = None
+    maximum: float | None = None
+    choices: tuple | None = None
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ConfigurationError(
+                f"param name must be an identifier, got {self.name!r}"
+            )
+        if self.type not in PARAM_TYPES:
+            raise ConfigurationError(
+                f"param {self.name!r} type must be one of "
+                f"{[t.__name__ for t in PARAM_TYPES]}, got {self.type!r}"
+            )
+        # A schema with a bad default is a bug; also canonicalizes an
+        # int default declared for a float param.
+        object.__setattr__(self, "default", self.validate(self.default))
+
+    def validate(self, value):
+        """Check (and int->float coerce) one value; returns the value."""
+        if self.type is float and type(value) is int:
+            value = float(value)
+        # bool subclasses int: an explicit check keeps True out of int params.
+        ok = (
+            type(value) is bool
+            if self.type is bool
+            else isinstance(value, self.type) and not isinstance(value, bool)
+        )
+        if not ok:
+            raise ConfigurationError(
+                f"param {self.name!r} expects {self.type.__name__}, "
+                f"got {value!r} ({type(value).__name__})"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ConfigurationError(
+                f"param {self.name!r} must be >= {self.minimum}, got {value!r}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise ConfigurationError(
+                f"param {self.name!r} must be <= {self.maximum}, got {value!r}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ConfigurationError(
+                f"param {self.name!r} must be one of {self.choices}, "
+                f"got {value!r}"
+            )
+        return value
+
+    def describe(self) -> str:
+        parts = [f"{self.name}: {self.type.__name__} = {self.default!r}"]
+        if self.minimum is not None or self.maximum is not None:
+            lo = "-inf" if self.minimum is None else f"{self.minimum:g}"
+            hi = "+inf" if self.maximum is None else f"{self.maximum:g}"
+            parts.append(f"range [{lo}, {hi}]")
+        if self.choices is not None:
+            parts.append(f"choices {self.choices!r}")
+        return "  ".join(parts)
+
+
+class FrozenParams(Mapping):
+    """Immutable, hashable params mapping with a canonical order.
+
+    Keys are sorted, so two mappings built from differently-ordered dicts
+    are equal, hash alike and — crucially — ``repr()`` alike: the run
+    cache key is derived from the spec repr and must not depend on
+    insertion order.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Mapping | Iterable[tuple[str, Any]] = ()) -> None:
+        pairs = items.items() if isinstance(items, Mapping) else items
+        canonical = tuple(sorted((str(k), v) for k, v in pairs))
+        names = [k for k, _ in canonical]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate param names in {names}")
+        object.__setattr__(self, "_items", canonical)
+
+    def __getitem__(self, key):
+        for k, v in self._items:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def __iter__(self):
+        return (k for k, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FrozenParams):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"FrozenParams({inner})"
+
+    def __reduce__(self):
+        return (FrozenParams, (self._items,))
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyEntry:
+    """One registered policy: builder plus schema plus capabilities."""
+
+    name: str
+    builder: Callable[[Mapping], "SchedulerPolicy"] = field(compare=False)
+    params: tuple[Param, ...] = ()
+    uses_stealing: bool = False
+    uses_partition: bool = False
+    ablation_of: str | None = None
+    doc: str = ""
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def defaults(self) -> FrozenParams:
+        return FrozenParams({p.name: p.default for p in self.params})
+
+
+_REGISTRY: dict[str, PolicyEntry] = {}
+
+
+def _ensure_builtins() -> None:
+    """Import the package so built-in policy modules register themselves."""
+    import repro.schedulers  # noqa: F401  (idempotent side-effect import)
+
+
+def register_policy(
+    name: str,
+    *,
+    params: Iterable[Param] = (),
+    uses_stealing: bool = False,
+    uses_partition: bool = False,
+    ablation_of: str | None = None,
+    doc: str | None = None,
+):
+    """Class/function decorator adding one policy to the registry.
+
+    On a class, the class's ``from_params(params)`` classmethod becomes
+    the builder; on a function, the function itself is the builder.
+    Registration fails loudly on duplicate names, duplicate param names,
+    and a stealing-capable policy that forgets to declare ``steal_cap``
+    (the engine reads it to configure the stealing mechanism).
+    """
+    params = tuple(params)
+    if name in _REGISTRY:
+        raise ConfigurationError(f"policy {name!r} is already registered")
+    names = [p.name for p in params]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"policy {name!r} declares duplicate params: {names}"
+        )
+    if uses_stealing and "steal_cap" not in names:
+        raise ConfigurationError(
+            f"policy {name!r} uses stealing but declares no 'steal_cap' param"
+        )
+
+    def decorate(obj):
+        if isinstance(obj, type):
+            builder = getattr(obj, "from_params", None)
+            if builder is None:
+                raise ConfigurationError(
+                    f"class {obj.__name__} registered as {name!r} needs a "
+                    "from_params(params) classmethod"
+                )
+        else:
+            builder = obj
+        summary = doc
+        if summary is None:
+            lines = (obj.__doc__ or "").strip().splitlines()
+            summary = lines[0] if lines else ""
+        _REGISTRY[name] = PolicyEntry(
+            name=name,
+            builder=builder,
+            params=params,
+            uses_stealing=uses_stealing,
+            uses_partition=uses_partition,
+            ablation_of=ablation_of,
+            doc=summary,
+        )
+        return obj
+
+    return decorate
+
+
+def unregister(name: str) -> None:
+    """Remove one registration (test/plugin teardown helper)."""
+    _REGISTRY.pop(name, None)
+
+
+def registered_names() -> tuple[str, ...]:
+    """Every registered policy name, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def policy_entry(name: str) -> PolicyEntry:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; registered policies: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def ablations_of(base: str) -> tuple[str, ...]:
+    """Names registered as ablations of ``base``, in registration order."""
+    _ensure_builtins()
+    return tuple(
+        e.name for e in _REGISTRY.values() if e.ablation_of == base
+    )
+
+
+def validate_params(name: str, params: Mapping | None = None) -> FrozenParams:
+    """Schema-check one params mapping; returns it canonicalized.
+
+    Unknown names, wrong types and out-of-range values raise
+    :class:`~repro.core.errors.ConfigurationError`; undeclared entries
+    are filled with their schema defaults.
+    """
+    entry = policy_entry(name)
+    given = dict(params) if params else {}
+    declared = set(entry.param_names)
+    unknown = sorted(set(given) - declared)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown param(s) {unknown} for policy {name!r}; "
+            f"declared: {sorted(declared)}"
+        )
+    return FrozenParams(
+        {p.name: p.validate(given.get(p.name, p.default)) for p in entry.params}
+    )
+
+
+def build_policy(name: str, params: Mapping | None = None) -> "SchedulerPolicy":
+    """Construct a policy instance from its registered builder."""
+    entry = policy_entry(name)
+    return entry.builder(validate_params(name, params))
+
+
+def build_engine(spec) -> ClusterEngine:
+    """Registry-driven engine construction for one ``RunSpec``.
+
+    Everything the engine needs is read off the spec and the policy's
+    registry entry: the partition fraction applies only when the policy
+    declares ``uses_partition``, and the work-stealing mechanism is
+    attached (configured from the ``steal_cap`` param) only when it
+    declares ``uses_stealing``.
+    """
+    entry = policy_entry(spec.scheduler)
+    # RunSpec validated and canonicalized params at construction; specs
+    # arriving over a process boundary carry that same frozen mapping.
+    params = spec.params
+    partition_fraction = (
+        spec.short_partition_fraction if entry.uses_partition else 0.0
+    )
+    cluster = Cluster(spec.n_workers, short_partition_fraction=partition_fraction)
+    scheduler = entry.builder(params)
+    stealing = (
+        WorkStealing(cap=params["steal_cap"]) if entry.uses_stealing else None
+    )
+    config = EngineConfig(cutoff=spec.cutoff, seed=spec.seed)
+    return ClusterEngine(
+        cluster, scheduler, config, stealing=stealing, estimate=spec.estimate
+    )
+
+
+def describe() -> str:
+    """Canonical schema listing (sorted by name) for drift detection.
+
+    The CI registry smoke job diffs this against a checked-in snapshot
+    (``benchmarks/results/registry_schema.txt``); any change to policy
+    names, flags or param schemas shows up as a failing diff until the
+    snapshot is regenerated on purpose.
+    """
+    _ensure_builtins()
+    lines = []
+    for name in sorted(_REGISTRY):
+        entry = _REGISTRY[name]
+        flags = [
+            f"stealing={'yes' if entry.uses_stealing else 'no'}",
+            f"partition={'yes' if entry.uses_partition else 'no'}",
+        ]
+        if entry.ablation_of:
+            flags.append(f"ablation-of={entry.ablation_of}")
+        lines.append(f"policy {name}  [{' '.join(flags)}]")
+        for param in entry.params:
+            lines.append(f"  {param.describe()}")
+    return "\n".join(lines) + "\n"

@@ -15,11 +15,19 @@ from repro.core.errors import ConfigurationError
 from repro.core.rng import make_rng, spread_sample
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.frontend import ProbeFrontend
+from repro.schedulers.registry import Param, register_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.job import Job
 
 
+@register_policy(
+    "sparrow",
+    params=(
+        Param("probe_ratio", int, default=2, minimum=1,
+              doc="probes per task (2 throughout the paper)"),
+    ),
+)
 class SparrowScheduler(SchedulerPolicy):
     """Distributed batch-probing scheduler over a partition of the cluster.
 
@@ -61,11 +69,19 @@ class SparrowScheduler(SchedulerPolicy):
                 f"partition {self.partition.value} has no workers"
             )
 
+    @classmethod
+    def from_params(cls, params) -> "SparrowScheduler":
+        return cls(probe_ratio=params["probe_ratio"])
+
+    def _n_probes(self, job: "Job") -> int:
+        """Probe budget for one job; subclasses override (batch sampling)."""
+        return self.probe_ratio * job.num_tasks
+
     def on_job_submit(self, job: "Job") -> None:
         assert self.engine is not None and self._rng is not None
         frontend = ProbeFrontend(job)
         ids = self.engine.cluster.ids(self.partition)
-        n_probes = self.probe_ratio * job.num_tasks
+        n_probes = self._n_probes(job)
         targets = spread_sample(self._rng, ids, n_probes)
         for worker_id in targets:
             self.engine.place_probe(worker_id, job, frontend)

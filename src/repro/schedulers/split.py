@@ -14,16 +14,29 @@ from repro.cluster.cluster import Partition
 from repro.cluster.job import JobClass
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.centralized import CentralizedScheduler
+from repro.schedulers.registry import Param, register_policy
 from repro.schedulers.sparrow import SparrowScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.job import Job
 
 
+@register_policy(
+    "split",
+    params=(
+        Param("probe_ratio", int, default=2, minimum=1,
+              doc="probes per task for the short-partition component"),
+    ),
+    uses_partition=True,
+)
 class SplitScheduler(SchedulerPolicy):
     """Disjoint long/short partitions; no sharing, no stealing."""
 
     name = "split"
+
+    @classmethod
+    def from_params(cls, params) -> "SplitScheduler":
+        return cls(probe_ratio=params["probe_ratio"])
 
     def __init__(self, probe_ratio: int = 2) -> None:
         super().__init__()

@@ -94,11 +94,15 @@ def test_fig12_13_long_fraction_decreases_with_cutoff():
 
 def test_fig14_short_jobs_barely_affected():
     result = fig14_misestimation.run(
-        "quick", ranges=((0.5, 1.5),), repetitions=2
+        "quick", ranges=((0.5, 1.5),), n_seeds=2
     )
     assert len(result.rows) == 1
     # short jobs do not use estimates; ratios stay in a sane band
-    assert 0.0 < result.rows[0][3] < 1.5
+    assert 0.0 < result.column_means("short p50")[0] < 1.5
+    # replicated cells carry the paired-t p-value against ratio 1
+    cell = result.column("long p50")[0]
+    assert isinstance(cell, SummaryStats)
+    assert cell.p_value is not None and 0.0 <= cell.p_value <= 1.0
 
 
 def test_fig15_cap10_not_worse_than_cap1():
