@@ -1,0 +1,48 @@
+"""Core-throughput perf harness, pytest-collected (see pytest.ini).
+
+Runs the canonical mixed workload through ``repro.bench`` at quick scale
+and checks the *deterministic* half of the committed ``BENCH_core.json``
+baseline: the logical event counts.  Event counts are workload-invariant
+(transport batching keeps them stable by construction), so any drift
+means engine semantics changed and the baseline — plus ``CACHE_VERSION``
+— needs a deliberate regeneration.
+
+Wall-clock regression gating lives in CI's ``perf-smoke`` job
+(``python -m repro.bench --quick --check``), not here: tier-1 must stay
+green on arbitrarily slow machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import bench_events
+
+BASELINE = Path(__file__).resolve().parents[1] / "BENCH_core.json"
+
+
+def test_quick_bench_matches_committed_event_counts():
+    fresh = bench_events("quick", repeats=1)
+    committed = json.loads(BASELINE.read_text())["quick"]["events"]
+    assert fresh["trace"] == committed["trace"]
+    for policy, numbers in committed["policies"].items():
+        assert fresh["policies"][policy]["events"] == numbers["events"], policy
+        assert (
+            fresh["policies"][policy]["n_workers"] == numbers["n_workers"]
+        ), policy
+    assert fresh["events"] == committed["events"]
+    assert fresh["events_per_sec"] > 0
+    print(
+        f"\nquick-scale core throughput: {fresh['events_per_sec']:,} events/sec "
+        f"(committed baseline {committed['events_per_sec']:,})"
+    )
+
+
+def test_bench_baseline_shows_fast_path_speedup():
+    """The committed baseline must retain the measured pre-PR reference
+    and the >=2x events/sec headline of the fast-path core."""
+    data = json.loads(BASELINE.read_text())
+    pre = data["pre_pr"]["full_events_per_sec"]
+    post = data["full"]["events"]["events_per_sec"]
+    assert post >= 2 * pre, (pre, post)

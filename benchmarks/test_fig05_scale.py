@@ -1,0 +1,17 @@
+"""Figure 5 scale point: Hawk vs Sparrow on a 10,000-worker cluster."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig05_scale
+
+
+def test_fig05_scale_10k_workers(benchmark):
+    result = run_figure(benchmark, fig05_scale.run, "fig05_scale10k.txt")
+    (nodes,) = result.column("nodes")
+    assert nodes == 10_000
+    (short_p50,) = result.column("short p50")
+    (short_p90,) = result.column("short p90")
+    # High-but-not-overloaded: Hawk's short-job benefit must show at scale.
+    assert short_p50 < 1.0
+    assert short_p90 < 1.0
+    (load,) = result.column("offered load")
+    assert 0.8 <= load <= 1.5  # the trace is sized to keep 10k nodes busy

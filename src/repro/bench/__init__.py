@@ -1,0 +1,233 @@
+"""Perf harness for the simulation core (``python -m repro.bench``).
+
+Two measurements, both written to ``BENCH_core.json`` at the repo root so
+every PR leaves a tracked trajectory instead of anecdotes:
+
+* **events/sec** — the canonical mixed workload (the Google-like trace at
+  the high-load cluster size) run through Hawk (centralized placement +
+  batch probing + work stealing) and Sparrow (pure batch probing).  The
+  numerator is the engine's *logical* event count (``events_fired``:
+  message deliveries, round-trip legs, task completions), which is
+  invariant under transport-level batching, so the metric stays
+  comparable across core rewrites.  Wall time is best-of-``repeats``.
+* **sweep wall-times** — a two-point Figure-5 sweep through a fresh
+  :class:`~repro.experiments.parallel.SweepExecutor` with an isolated
+  disk cache: cold (every run executed) and warm (every run served from
+  the disk tier), the repeated-figure-regeneration case.
+
+The JSON file keeps one section per mode (``quick``/``full``) and merges
+on write, so a quick CI run never clobbers the committed full-scale
+numbers.  ``--check`` compares a fresh run against the committed section
+of the same mode and fails on a >1.5x events/sec regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.config import RunSpec, build_engine, high_load_size
+from repro.experiments.traces import (
+    google_cutoff,
+    google_short_fraction,
+    google_trace,
+)
+from repro.workloads.spec import Trace
+
+#: Fail ``--check`` when fresh events/sec drop below committed/this.
+REGRESSION_FACTOR = 1.5
+
+#: Default output path: ``BENCH_core.json`` at the repo root (next to the
+#: ``benchmarks/`` directory) for a src/ checkout, cwd otherwise.
+def default_output() -> Path:
+    root = Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "BENCH_core.json"
+    return Path.cwd() / "BENCH_core.json"
+
+
+def _specs(trace: Trace) -> dict[str, RunSpec]:
+    n = high_load_size(trace)
+    cutoff = google_cutoff()
+    return {
+        "hawk": RunSpec(
+            scheduler="hawk",
+            n_workers=n,
+            cutoff=cutoff,
+            short_partition_fraction=google_short_fraction(),
+        ),
+        "sparrow": RunSpec(scheduler="sparrow", n_workers=n, cutoff=cutoff),
+    }
+
+
+def bench_events(scale: str, repeats: int = 3) -> dict:
+    """Events/sec of the canonical mixed workload, best-of-``repeats``."""
+    trace = google_trace(scale, seed=0)
+    out: dict = {
+        "trace": {
+            "scale": scale,
+            "jobs": len(trace),
+            "tasks": trace.total_tasks,
+        },
+        "policies": {},
+    }
+    total_events = 0
+    total_best = 0.0
+    for name, spec in _specs(trace).items():
+        best = float("inf")
+        events = 0
+        for _ in range(repeats):
+            engine = build_engine(spec)
+            start = time.perf_counter()
+            result = engine.run(trace)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            events = result.events_fired
+        out["policies"][name] = {
+            "n_workers": spec.n_workers,
+            "events": events,
+            "wall_s": round(best, 4),
+            "events_per_sec": round(events / best),
+        }
+        total_events += events
+        total_best += best
+    out["events_per_sec"] = round(total_events / total_best)
+    out["events"] = total_events
+    return out
+
+
+def bench_sweep(scale: str) -> dict:
+    """Cold vs warm wall time of a two-point fig05 sweep (isolated caches)."""
+    # Imported here: experiments.parallel spins executor state on import.
+    from repro.experiments import fig05_google
+    from repro.experiments.parallel import DiskCache, SweepExecutor, set_executor
+
+    targets = (1.0, 0.5)
+    google_trace(scale, 0)  # exclude trace generation from both timings
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        timings = {}
+        for label in ("cold", "warm"):
+            executor = SweepExecutor(disk_cache=DiskCache(Path(tmp)))
+            previous = set_executor(executor)
+            try:
+                start = time.perf_counter()
+                fig05_google.run(scale, utilization_targets=targets)
+                timings[f"{label}_s"] = round(time.perf_counter() - start, 4)
+            finally:
+                set_executor(previous)
+                executor.close()
+        return {"targets": list(targets), **timings}
+
+
+def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
+    scale = "quick" if quick else "full"
+    if repeats is None:
+        repeats = 5 if quick else 3
+    return {
+        "scale": scale,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "events": bench_events(scale, repeats=repeats),
+        "sweep": bench_sweep(scale),
+    }
+
+
+def merge_into(path: Path, section: str, payload: dict) -> dict:
+    """Update one mode section of the JSON file, preserving the rest."""
+    data: dict = {}
+    if path.is_file():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data.setdefault("schema", 1)
+    data.setdefault(
+        "workload",
+        "google-like trace at the high-load cluster size; hawk + sparrow",
+    )
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def check_regression(baseline_path: Path, section: str, fresh: dict) -> list[str]:
+    """Compare a fresh run to the committed baseline; return failures."""
+    if not baseline_path.is_file():
+        return [f"no baseline file at {baseline_path}"]
+    baseline = json.loads(baseline_path.read_text()).get(section)
+    if not baseline:
+        return [f"baseline {baseline_path} has no '{section}' section"]
+    failures = []
+    committed = baseline["events"]["events_per_sec"]
+    measured = fresh["events"]["events_per_sec"]
+    floor = committed / REGRESSION_FACTOR
+    if measured < floor:
+        failures.append(
+            f"events/sec regression: measured {measured} < floor {floor:.0f} "
+            f"(committed {committed} / {REGRESSION_FACTOR})"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure core simulator throughput and sweep wall-times.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick-scale trace (CI smoke); default is the full benchmark scale",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="JSON file to merge results into (default: repo-root BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print results without touching the output file",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        nargs="?",
+        const=None,
+        default=False,
+        metavar="BASELINE",
+        help=(
+            "fail (exit 1) on a >1.5x events/sec regression vs the committed "
+            "baseline JSON (default: the output file itself)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    output = args.output or default_output()
+    section = "quick" if args.quick else "full"
+    payload = run_bench(quick=args.quick, repeats=args.repeats)
+    print(json.dumps({section: payload}, indent=2, sort_keys=True))
+    if args.check is not False:
+        baseline = args.check or output
+        failures = check_regression(baseline, section, payload)
+        if failures:
+            for failure in failures:
+                print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"perf check ok: {payload['events']['events_per_sec']} events/sec "
+            f"(baseline {baseline})"
+        )
+    if not args.no_write:
+        merge_into(output, section, payload)
+        print(f"wrote {output}")
+    return 0

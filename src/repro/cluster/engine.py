@@ -7,6 +7,24 @@ probes and tasks go; the engine owns *when* things happen.
 Protocol costs follow Section 4.1 of the paper: every message (probe
 placement, task request, task response, task placement) pays one network
 delay; scheduling decisions and stealing cost nothing.
+
+Transport batching
+------------------
+With a constant network delay (the paper's setting), the ``2t`` probes of
+one submission and the ``t`` placements of one centralized assignment all
+arrive at the *same* timestamp, in scheduling order.  The engine therefore
+ships each such group as one heap event and delivers the group in order on
+arrival — observable behaviour (delivery order, timestamps, and the
+logical ``events_fired`` count, maintained via
+:meth:`~repro.core.simulation.Simulation.add_logical_events`) is identical
+to per-message events, but the heap does one push/pop per group instead of
+per message.  The probe request/response round trip is likewise fused into
+a single event at ``now + 2 * delay`` on the constant-delay path; the
+frontend's task hand-out order is preserved because every request leg
+shifts by the same constant.  Setting :attr:`ClusterEngine.transport_batching`
+to ``False`` (or using a jittered network model) restores per-message
+events — runs must be bit-identical either way, and the test suite holds
+the engine to that.
 """
 
 from __future__ import annotations
@@ -34,6 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.schedulers.stealing import WorkStealing
     from repro.workloads.spec import JobSpec
 
+_IDLE = WorkerState.IDLE
+_BUSY = WorkerState.BUSY
+_WAITING = WorkerState.WAITING
+
 
 @dataclass(frozen=True, slots=True)
 class EngineConfig:
@@ -60,6 +82,11 @@ class EngineConfig:
 class ClusterEngine:
     """Couples a :class:`Simulation`, a :class:`Cluster` and a policy."""
 
+    #: Ship same-timestamp message groups as one heap event (see module
+    #: docstring).  Only effective with a zero-jitter network model; tests
+    #: flip it off to check batched and unbatched runs agree bit-for-bit.
+    transport_batching = True
+
     def __init__(
         self,
         cluster: Cluster,
@@ -80,6 +107,7 @@ class ClusterEngine:
         self.estimate = seeded(config.seed) if callable(seeded) else estimate
         self.sim = Simulation()
         self.network = NetworkModel(config.network_delay)
+        self._batch = self.transport_batching and self.network.jitter == 0.0
         self._busy = 0
         self._jobs_total = 0
         self._jobs_done = 0
@@ -100,6 +128,9 @@ class ClusterEngine:
     def all_jobs_done(self) -> bool:
         return self._done
 
+    def _refresh_batching(self) -> None:
+        self._batch = self.transport_batching and self.network.jitter == 0.0
+
     # ------------------------------------------------------------------
     # Placement API (called by scheduler policies).
     # ------------------------------------------------------------------
@@ -108,10 +139,43 @@ class ClusterEngine:
         entry = ProbeEntry(job, frontend)
         self.sim.schedule(self.network.sample(), self._deliver_entry, worker_id, entry)
 
+    def place_probes(
+        self, worker_ids: Sequence[int], job: Job, frontend: "ProbeFrontend"
+    ) -> None:
+        """Send one probe to each of ``worker_ids`` (one delay each).
+
+        With a constant delay all probes arrive at the same timestamp in
+        list order, so the group rides a single heap event.
+        """
+        if len(worker_ids) > 1 and self._batch:
+            entries = [ProbeEntry(job, frontend) for _ in worker_ids]
+            self.sim.schedule(
+                self.network.delay, self._deliver_batch, worker_ids, entries
+            )
+        else:
+            for worker_id in worker_ids:
+                self.place_probe(worker_id, job, frontend)
+
     def place_task(self, worker_id: int, task: Task) -> None:
         """Send a concrete task to ``worker_id`` (one network delay)."""
         entry = TaskEntry(task)
         self.sim.schedule(self.network.sample(), self._deliver_entry, worker_id, entry)
+
+    def place_tasks(self, assignments: Sequence[tuple[int, Task]]) -> None:
+        """Send ``(worker_id, task)`` pairs, one network delay each.
+
+        The batched counterpart of :meth:`place_task` for same-timestamp
+        placement groups (e.g. one centralized job assignment).
+        """
+        if len(assignments) > 1 and self._batch:
+            worker_ids = [worker_id for worker_id, _ in assignments]
+            entries = [TaskEntry(task) for _, task in assignments]
+            self.sim.schedule(
+                self.network.delay, self._deliver_batch, worker_ids, entries
+            )
+        else:
+            for worker_id, task in assignments:
+                self.place_task(worker_id, task)
 
     # ------------------------------------------------------------------
     # Worker state machine.
@@ -121,8 +185,10 @@ class ClusterEngine:
 
         Called after every queue or slot mutation.  A 0 -> 1 transition of
         the cluster tally wakes parked idle workers in the stealing policy.
+        The tally's only consumer is the stealing policy, so runs without
+        one skip the bookkeeping entirely.
         """
-        if worker.in_short_partition:
+        if self.stealing is None or worker.in_short_partition:
             return
         hint = worker.steal_hint()
         if hint == worker.counted_steal_hint:
@@ -136,33 +202,71 @@ class ClusterEngine:
         else:
             cluster.steal_hint_count -= 1
 
+    def _deliver_batch(self, worker_ids: Sequence[int], entries: list) -> None:
+        """Deliver a same-timestamp message group in scheduling order."""
+        self.sim.add_logical_events(len(entries) - 1)
+        workers = self.cluster.workers
+        try_start = self._worker_try_start
+        sync = self._sync_steal_hint
+        for worker_id, entry in zip(worker_ids, entries):
+            worker = workers[worker_id]
+            worker.enqueue(entry)
+            if worker.state is _IDLE:
+                try_start(worker)
+            else:
+                sync(worker)
+
     def _deliver_entry(self, worker_id: int, entry) -> None:
         worker = self.cluster.workers[worker_id]
         worker.enqueue(entry)
-        if worker.state is WorkerState.IDLE:
+        if worker.state is _IDLE:
             self._worker_try_start(worker)
         else:
             self._sync_steal_hint(worker)
 
     def _worker_try_start(self, worker: Worker) -> None:
         """Pop queue entries until the worker is busy, waiting, or drained."""
-        while worker.state is WorkerState.IDLE:
-            if not worker.queue:
+        queue = worker.queue
+        pop_next = worker.pop_next
+        while worker.state is _IDLE:
+            if not queue:
                 self._sync_steal_hint(worker)
                 self._worker_went_idle(worker)
                 return
-            entry = worker.pop_next()
-            if isinstance(entry, TaskEntry):
+            entry = pop_next()
+            if entry.is_task:
                 self._start_task(worker, entry.task, entry)
             else:
                 # Late binding: ask the job's frontend for a task.
-                worker.state = WorkerState.WAITING
+                worker.state = _WAITING
                 worker.current_entry = entry
                 self._sync_steal_hint(worker)
-                self.sim.schedule(
-                    self.network.sample(), self._probe_request_arrives, worker, entry
-                )
+                network = self.network
+                if self._batch:
+                    # Fused round trip: request leg + response leg in one
+                    # event at (now + delay) + delay — the same two
+                    # sequential additions the per-leg path performs, so
+                    # timestamps match bit-for-bit.  The hand-out order of
+                    # next_task() calls is unchanged — each request leg
+                    # shifts by the same constant delay, and seqs are
+                    # allocated here either way.
+                    delay = network.delay
+                    self.sim.schedule_at(
+                        self.sim.now + delay + delay,
+                        self._probe_round_trip,
+                        worker,
+                        entry,
+                    )
+                else:
+                    self.sim.schedule(
+                        network.sample(), self._probe_request_arrives, worker, entry
+                    )
                 return
+
+    def _probe_round_trip(self, worker: Worker, entry: ProbeEntry) -> None:
+        """Fused request/response: both legs of the probe round trip."""
+        self.sim.add_logical_events(1)
+        self._probe_response_arrives(worker, entry, entry.frontend.next_task())
 
     def _probe_request_arrives(self, worker: Worker, entry: ProbeEntry) -> None:
         """The task request reached the scheduler; decide task-or-cancel."""
@@ -174,11 +278,11 @@ class ClusterEngine:
     def _probe_response_arrives(
         self, worker: Worker, entry: ProbeEntry, task: Task | None
     ) -> None:
-        if worker.state is not WorkerState.WAITING or worker.current_entry is not entry:
+        if worker.state is not _WAITING or worker.current_entry is not entry:
             raise SimulationError(
                 f"worker {worker.worker_id} received a stale probe response"
             )
-        worker.state = WorkerState.IDLE
+        worker.state = _IDLE
         worker.current_entry = None
         if task is None:
             # Cancelled: all of the job's tasks were already handed out.
@@ -190,7 +294,7 @@ class ClusterEngine:
             self._start_task(worker, task, entry)
 
     def _start_task(self, worker: Worker, task: Task, entry) -> None:
-        worker.state = WorkerState.BUSY
+        worker.state = _BUSY
         worker.current_entry = entry
         worker.current_task = task
         worker.steal_backoff = 0.0
@@ -201,7 +305,7 @@ class ClusterEngine:
 
     def _task_finished(self, worker: Worker, task: Task) -> None:
         task.finish(self.sim.now)
-        worker.state = WorkerState.IDLE
+        worker.state = _IDLE
         worker.current_entry = None
         worker.current_task = None
         worker.tasks_executed += 1
@@ -226,11 +330,11 @@ class ClusterEngine:
         """Move ``victim.queue[start:stop]`` to the (idle) thief."""
         stolen = victim.remove_range(start, stop)
         for entry in stolen:
-            if isinstance(entry, ProbeEntry):
-                entry.stolen = True
-            else:
+            if entry.is_task:
                 entry.task.was_stolen = True
                 entry.task.job.stolen_tasks += 1
+            else:
+                entry.stolen = True
         victim.tasks_stolen_from += len(stolen)
         thief.tasks_stolen_by += len(stolen)
         self._sync_steal_hint(victim)
@@ -269,6 +373,7 @@ class ClusterEngine:
             )
             jobs.append(job)
         self._jobs_total = len(jobs)
+        self._refresh_batching()
         for job in jobs:
             self.sim.schedule_at(job.submit_time, self.scheduler.on_job_submit, job)
         self.sim.schedule_at(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.cluster.job import JobClass
 from repro.core.errors import SimulationError
@@ -58,29 +58,37 @@ def find_first_short_group(
 
 
 class QueueEntry:
-    """Base class for queue entries."""
+    """Base class for queue entries.
 
-    __slots__ = ("job_class", "seq")
+    ``is_task`` and ``is_long`` are plain attributes rather than
+    properties/isinstance checks: the engine reads them on every queue
+    transition and stealing eligibility scan, where descriptor dispatch
+    is measurable.
+    """
+
+    __slots__ = ("job_class", "seq", "is_long")
+
+    #: Type flag: ``True`` for concrete tasks, ``False`` for probes.
+    is_task = False
 
     def __init__(self, job_class: JobClass) -> None:
         self.job_class = job_class
+        self.is_long = job_class is JobClass.LONG
         #: Queue-order sequence number, assigned by the owning worker on
         #: enqueue; entries compare in queue order iff their seqs do.
         self.seq = 0
 
     @property
-    def is_long(self) -> bool:
-        return self.job_class is JobClass.LONG
-
-    @property
     def is_short(self) -> bool:
-        return self.job_class is JobClass.SHORT
+        return not self.is_long
 
 
 class TaskEntry(QueueEntry):
     """A concrete task sitting in a worker queue."""
 
     __slots__ = ("task",)
+
+    is_task = True
 
     def __init__(self, task: "Task") -> None:
         super().__init__(task.job.scheduled_class)
@@ -176,9 +184,9 @@ class Worker:
         self.queue.append(entry)
         (self._long_seqs if entry.is_long else self._short_seqs).append(entry.seq)
 
-    def enqueue_front(self, entries: Iterable[QueueEntry]) -> None:
+    def enqueue_front(self, entries: Sequence[QueueEntry]) -> None:
         """Place stolen entries at the head (they were blocked elsewhere)."""
-        for entry in reversed(list(entries)):
+        for entry in reversed(entries):
             entry.seq = self._head_seq
             self._head_seq -= 1
             self.queue.appendleft(entry)
@@ -216,7 +224,8 @@ class Worker:
         longs = self._long_seqs
         if longs and shorts[-1] > longs[0]:
             return True  # last short sits behind the first queued long
-        return self.current_class is JobClass.LONG
+        entry = self.current_entry
+        return entry is not None and entry.is_long
 
     def eligible_steal_range(self) -> tuple[int, int] | None:
         """Locate the group of short entries eligible for stealing.
@@ -228,8 +237,9 @@ class Worker:
         """
         if not self.steal_hint():
             return None
+        entry = self.current_entry
         return find_first_short_group(
-            self.current_class is JobClass.LONG,
+            entry is not None and entry.is_long,
             (entry.is_long for entry in self.queue),
         )
 

@@ -5,6 +5,27 @@ more than raw speed for a reproduction: two events scheduled for the same
 timestamp always fire in the order they were scheduled (a monotonically
 increasing sequence number breaks ties), so a fixed seed produces a
 bit-identical run.
+
+Two scheduling paths share one heap:
+
+* :meth:`Simulation.schedule` / :meth:`Simulation.schedule_at` — the fast
+  path for the non-cancellable majority of events.  Entries are plain
+  ``(time, seq, callback, args)`` tuples: no per-event object allocation,
+  and heap ordering stays a C-level tuple comparison on ``(time, seq)``
+  (seqs are unique, so comparisons never reach the callback).
+* :meth:`Simulation.schedule_cancellable` — returns an
+  :class:`EventHandle` for the few events that may need to be revoked
+  (e.g. work-stealing retry timers).  Cancelled entries are skipped on
+  pop, and when they outnumber the live half of the heap the heap is
+  compacted in place, so churny cancel-heavy phases cannot grow the heap
+  without bound.
+
+A *logical* event is one message arrival / timer firing of the modelled
+system.  Transport-level batching (one heap pop delivering many
+same-timestamp messages) keeps the logical count intact via
+:meth:`add_logical_events`, so :attr:`events_fired` — and the
+``max_events`` budget, which counts logical events — are invariant under
+such batching.
 """
 
 from __future__ import annotations
@@ -16,23 +37,25 @@ from repro.core.errors import SimulationError
 
 
 class EventHandle:
-    """A scheduled callback and its cancellation token.
+    """A cancellable scheduled callback.
 
-    Instances are created by :meth:`Simulation.schedule` /
-    :meth:`Simulation.schedule_at`; user code only ever needs
-    :meth:`cancel` and the read-only attributes.  Heap ordering is done on
-    ``(time, seq)`` tuples (C-level comparisons), not on handles.
+    Instances are created by :meth:`Simulation.schedule_cancellable`; user
+    code only ever needs :meth:`cancel` and the read-only attributes.
+    Heap ordering is done on ``(time, seq)`` tuples (C-level comparisons),
+    not on handles.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
+        sim: "Simulation",
         time: float,
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
     ) -> None:
+        self._sim = sim
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -41,7 +64,9 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call multiple times."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -51,12 +76,17 @@ class EventHandle:
 class Simulation:
     """A discrete-event simulation clock and event heap."""
 
+    __slots__ = ("_now", "_heap", "_seq", "_events_fired", "_running", "_cancelled")
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[tuple[float, int, EventHandle]] = []
+        # (time, seq, callback, args) for plain events;
+        # (time, seq, None, EventHandle) for cancellable ones.
+        self._heap: list[tuple] = []
         self._seq = 0
         self._events_fired = 0
         self._running = False
+        self._cancelled = 0  # cancelled-but-unpopped handle entries
 
     @property
     def now(self) -> float:
@@ -65,45 +95,97 @@ class Simulation:
 
     @property
     def events_fired(self) -> int:
-        """Number of events executed so far (cancelled events excluded)."""
+        """Logical events executed so far (cancelled events excluded)."""
         return self._events_fired
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap, including cancelled ones."""
+        """Number of entries still on the heap, including cancelled ones."""
         return len(self._heap)
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
+    ) -> None:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past: delay={delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
+        self._seq += 1
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
+    ) -> None:
         """Schedule ``callback(*args)`` to fire at absolute ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def schedule_cancellable(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Like :meth:`schedule`, but returns a cancellation handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past: delay={delay}")
+        time = self._now + delay
+        handle = EventHandle(self, time, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, self._seq, None, handle))
         self._seq += 1
         return handle
 
+    def add_logical_events(self, n: int) -> None:
+        """Count ``n`` extra logical events delivered by the current event.
+
+        Called by transport-level batching (one heap pop standing in for
+        ``n + 1`` same-timestamp message deliveries) so that
+        :attr:`events_fired` and the ``max_events`` budget keep their
+        batching-independent meaning.
+        """
+        self._events_fired += n
+
+    # ------------------------------------------------------------------
+    # Cancelled-entry bookkeeping.
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        # Lazy compaction: once cancelled entries outnumber live ones,
+        # rebuild the heap without them.  O(live) and amortized O(1) per
+        # cancel, so churny park/cancel phases keep the heap bounded by
+        # twice the live event count.
+        if self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        # In place: run()/step() hold a reference to the heap list while
+        # callbacks (which may cancel and trigger compaction) execute, so
+        # rebinding self._heap here would strand their alias on a dead
+        # list and silently drop every event scheduled afterwards.
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap if entry[2] is not None or not entry[3].cancelled
+        ]
+        heapq.heapify(heap)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Event loop.
+    # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns ``False`` if none remain."""
         heap = self._heap
         while heap:
-            _, _, handle = heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
+            time, _, callback, args = heapq.heappop(heap)
+            if callback is None:
+                handle = args
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                callback, args = handle.callback, handle.args
+            self._now = time
             self._events_fired += 1
-            handle.callback(*handle.args)
+            callback(*args)
             return True
         return False
 
@@ -114,33 +196,54 @@ class Simulation:
 
         ``until`` is inclusive: events scheduled exactly at ``until`` fire.
         ``max_events`` guards against runaway simulations and raises
-        :class:`SimulationError` when exhausted.
+        :class:`SimulationError` when exhausted; it counts logical events,
+        so a batched delivery of ``k`` messages spends ``k`` of the budget.
         """
         if self._running:
             raise SimulationError("Simulation.run() is not reentrant")
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
-        fired = 0
         try:
+            if until is None and max_events is None:
+                # Fast path: the engine's production configuration.
+                while heap:
+                    time, _, callback, args = heappop(heap)
+                    if callback is None:
+                        handle = args
+                        if handle.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        callback, args = handle.callback, handle.args
+                    self._now = time
+                    self._events_fired += 1
+                    callback(*args)
+                return
+            base = self._events_fired
             while heap:
-                time, _, handle = heap[0]
-                if handle.cancelled:
+                time, _, callback, args = heap[0]
+                if callback is None and args.cancelled:
                     heappop(heap)
+                    self._cancelled -= 1
                     continue
                 if until is not None and time > until:
                     self._now = until
                     return
-                if max_events is not None and fired >= max_events:
+                if (
+                    max_events is not None
+                    and self._events_fired - base >= max_events
+                ):
                     raise SimulationError(
-                        f"event budget exhausted after {fired} events at "
+                        f"event budget exhausted after "
+                        f"{self._events_fired - base} events at "
                         f"t={self._now:.3f}"
                     )
                 heappop(heap)
+                if callback is None:
+                    callback, args = args.callback, args.args
                 self._now = time
                 self._events_fired += 1
-                fired += 1
-                handle.callback(*handle.args)
+                callback(*args)
             if until is not None and until > self._now:
                 self._now = until
         finally:

@@ -22,6 +22,16 @@ collide.  ``CACHE_VERSION`` is baked into both the key and the directory
 name: bump it whenever engine semantics change (event ordering, RNG
 streams, record fields) and every stale entry is invalidated at once.
 
+Trace transport: a sweep submits many specs over few distinct traces, so
+pickling the full trace into every pool submission is the dominant IPC
+cost for large traces.  Each distinct trace (keyed on its content
+digest) is instead serialized once into a ``multiprocessing.shared_memory``
+segment owned by the executor; submissions carry only ``(digest, segment
+name, length)`` and pool workers attach, deserialize once, and keep a
+small digest-keyed cache.  Segments are unlinked when the executor
+closes (and at interpreter exit as a fallback).  If shared memory is
+unavailable the executor transparently falls back to inline pickling.
+
 Knobs (also see ``src/repro/experiments/README.md``):
 
 * ``REPRO_EXECUTOR_WORKERS`` — worker-pool size; unset defaults to
@@ -32,6 +42,8 @@ Knobs (also see ``src/repro/experiments/README.md``):
   least-recently-used entries (by mtime, refreshed on every cache hit)
   are evicted after each store until the cache fits.  Unset means
   unbounded.
+* ``REPRO_TRACE_SHM`` — set to ``0`` to disable the shared-memory trace
+  transport (traces are then pickled into every pool submission).
 
 Runs are deterministic given (spec, trace): per-run RNG streams are
 seeded from the spec, so the parallel path returns bit-identical results
@@ -42,12 +54,15 @@ pickled (e.g. closures) transparently fall back to in-process execution.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 import pickle
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import fields
 from hashlib import blake2b
+from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Sequence
 
@@ -67,6 +82,7 @@ WORKERS_ENV = "REPRO_EXECUTOR_WORKERS"
 DISK_CACHE_ENV = "REPRO_RUNCACHE"
 DISK_CACHE_DIR_ENV = "REPRO_RUNCACHE_DIR"
 DISK_CACHE_MAX_MB_ENV = "REPRO_RUNCACHE_MAX_MB"
+TRACE_SHM_ENV = "REPRO_TRACE_SHM"
 
 def _default_cache_dir() -> Path:
     """``benchmarks/.runcache`` at the repo root for a src/ checkout.
@@ -319,6 +335,96 @@ def _execute_keyed(key: str, spec: RunSpec, trace: Trace):
     return key, execute(spec, trace)
 
 
+# -- shared-memory trace transport --------------------------------------
+class TraceTransport:
+    """Publishes each distinct trace once for all pool submissions.
+
+    The parent owns the segments: one per distinct
+    :meth:`Trace.content_digest`, holding the pickled trace.  Pool
+    submissions then reference ``(digest, segment name, payload length)``
+    instead of carrying the trace, so a sweep of hundreds of specs over
+    one trace serializes it exactly once.  Segments are unlinked by
+    :meth:`close` (idempotent; also registered via ``atexit`` so an
+    executor that is never closed cannot leak past interpreter exit).
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+        self._disabled = False  # set on first shm failure; see publish()
+        atexit.register(self.close)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def publish(self, trace: Trace) -> tuple[str, str, int] | None:
+        """(digest, segment name, length) for a trace, creating on first use.
+
+        Returns ``None`` when shared memory is unavailable — callers fall
+        back to pickling the trace into the submission.  The first
+        failure disables the transport for this instance, so later
+        submissions skip straight to the fallback instead of paying a
+        doomed serialization + syscall each.
+        """
+        if self._disabled:
+            return None
+        digest = trace.content_digest()
+        segment = self._segments.get(digest)
+        if segment is None:
+            payload = pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                shm = shared_memory.SharedMemory(create=True, size=len(payload))
+            except (OSError, ValueError):
+                self._disabled = True
+                return None
+            shm.buf[: len(payload)] = payload
+            segment = (shm, len(payload))
+            self._segments[digest] = segment
+        return digest, segment[0].name, segment[1]
+
+    def close(self) -> None:
+        """Unlink every published segment (safe to call repeatedly)."""
+        for shm, _ in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+        self._segments.clear()
+        atexit.unregister(self.close)
+
+
+#: Pool-worker-side cache of deserialized traces, keyed by content digest.
+#: Small and FIFO-bounded: a sweep touches few distinct traces, and a
+#: stale entry merely costs one re-read from shared memory.
+_WORKER_TRACE_CACHE_MAX = 8
+_worker_trace_cache: "OrderedDict[str, Trace]" = OrderedDict()
+
+
+def _trace_from_shm(digest: str, shm_name: str, length: int) -> Trace:
+    trace = _worker_trace_cache.get(digest)
+    if trace is None:
+        shm = shared_memory.SharedMemory(name=shm_name)
+        try:
+            trace = pickle.loads(bytes(shm.buf[:length]))
+        finally:
+            shm.close()
+        _worker_trace_cache[digest] = trace
+        while len(_worker_trace_cache) > _WORKER_TRACE_CACHE_MAX:
+            _worker_trace_cache.popitem(last=False)
+    return trace
+
+
+def _execute_keyed_shm(
+    key: str, spec: RunSpec, digest: str, shm_name: str, length: int
+):
+    """Pool-side worker: like :func:`_execute_keyed`, trace via shm."""
+    return key, execute(spec, _trace_from_shm(digest, shm_name, length))
+
+
+def _trace_shm_enabled_from_env() -> bool:
+    return os.environ.get(TRACE_SHM_ENV, "1").strip() not in ("0", "off", "no")
+
+
 def _transportable(spec: RunSpec) -> bool:
     """Can this spec cross a process boundary?
 
@@ -349,12 +455,18 @@ class SweepExecutor:
         A :class:`DiskCache`, ``None`` to disable the persistent tier, or
         the string ``"env"`` (default) to honor the ``REPRO_RUNCACHE*``
         environment variables.
+    trace_shm:
+        Ship traces to pool workers through the shared-memory transport
+        (one segment per distinct trace) instead of pickling the trace
+        into every submission.  ``None`` (default) honors
+        ``REPRO_TRACE_SHM``.
     """
 
     def __init__(
         self,
         max_workers: int | None = None,
         disk_cache: DiskCache | None | str = "env",
+        trace_shm: bool | None = None,
     ) -> None:
         self.max_workers = (
             _pool_size_from_env() if max_workers is None else max(1, max_workers)
@@ -362,8 +474,12 @@ class SweepExecutor:
         self.disk_cache = (
             _disk_cache_from_env() if disk_cache == "env" else disk_cache
         )
+        self.trace_shm = (
+            _trace_shm_enabled_from_env() if trace_shm is None else trace_shm
+        )
         self._memo: dict[str, RunResult] = {}
         self._pool: ProcessPoolExecutor | None = None
+        self._transport: TraceTransport | None = None
         # Observability counters (read by tests and the benchmark).
         self.memo_hits = 0
         self.disk_hits = 0
@@ -377,10 +493,13 @@ class SweepExecutor:
         self._memo.clear()
 
     def close(self) -> None:
-        """Shut down the worker pool (caches stay intact)."""
+        """Shut down the pool and release shm segments (caches stay intact)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
 
     def _record(self, key: str, result: RunResult, persist: bool) -> None:
         self._memo[key] = result
@@ -452,12 +571,25 @@ class SweepExecutor:
             self.executions += 1
             self._record(key, execute(spec, trace), persist=True)
 
+    def _submit(self, key: str, spec: RunSpec, trace: Trace):
+        """Submit one run, shipping the trace by reference when possible."""
+        assert self._pool is not None
+        if self.trace_shm:
+            if self._transport is None:
+                self._transport = TraceTransport()
+            published = self._transport.publish(trace)
+            if published is not None:
+                digest, name, length = published
+                return self._pool.submit(
+                    _execute_keyed_shm, key, spec, digest, name, length
+                )
+        return self._pool.submit(_execute_keyed, key, spec, trace)
+
     def _fan_out(self, items: list[tuple[str, tuple[RunSpec, Trace]]]) -> None:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         futures = [
-            self._pool.submit(_execute_keyed, key, spec, trace)
-            for key, (spec, trace) in items
+            self._submit(key, spec, trace) for key, (spec, trace) in items
         ]
         for future in futures:
             key, result = future.result()

@@ -25,6 +25,13 @@ from repro.workloads.spec import Trace
 _GOOGLE_JOBS = {"full": 1200, "quick": 260}
 _KMEANS_JOBS = {"full": 900, "quick": 240}
 
+#: The 10k-worker scale point (fig05_scale): same generator, arrivals
+#: densified so ~10,000 nodes sit at high-but-not-overloaded utilization
+#: (nodes-for-full-utilization scales with mean work / inter-arrival, not
+#: with job count).
+_GOOGLE_SCALE_JOBS = 3000
+_GOOGLE_SCALE_INTERARRIVAL = 3.2
+
 _cache: dict[tuple, Trace] = {}
 
 
@@ -50,6 +57,23 @@ def kmeans_workload_trace(
             seed=seed,
         )
     return _cache[key]
+
+
+def google_scale_trace(seed: int = 0) -> Trace:
+    """The densified Google-like trace for the 10k-worker scale point."""
+    key = ("google-scale10k", seed)
+    if key not in _cache:
+        config = GoogleTraceConfig(
+            n_jobs=_GOOGLE_SCALE_JOBS,
+            mean_interarrival=_GOOGLE_SCALE_INTERARRIVAL,
+        )
+        _cache[key] = google_like_trace(config, seed=seed)
+    return _cache[key]
+
+
+def google_scale_trace_factory() -> TraceFactory:
+    """``seed -> Trace`` for seed-replicated 10k-worker sweeps."""
+    return google_scale_trace
 
 
 def google_trace_factory(scale: str = "full") -> TraceFactory:

@@ -87,12 +87,16 @@ class CentralizedScheduler(SchedulerPolicy):
     def on_job_submit(self, job: "Job") -> None:
         assert self.engine is not None
         estimate = job.estimated_task_duration
+        assignments = []
         for task in job.tasks:
             worker_id = self._pop_least_loaded()
             self._update(worker_id, estimate)
             self._estimate_of_task[id(task)] = estimate
-            self.engine.place_task(worker_id, task)
-            self.tasks_placed += 1
+            assignments.append((worker_id, task))
+        # All of a job's placements leave at the same instant; the engine
+        # delivers the group in assignment order on one heap event.
+        self.engine.place_tasks(assignments)
+        self.tasks_placed += len(assignments)
         self.jobs_scheduled += 1
 
     def on_task_finish(self, task: "Task") -> None:

@@ -93,10 +93,12 @@ class OmniscientScheduler(CentralizedScheduler):
         # Same least-waiting-time queue discipline as the centralized
         # scheduler, but driven by per-task *true* durations for every
         # job class — the oracle the paper's Section 2.3 gestures at.
+        assignments = []
         for task in job.tasks:
             worker_id = self._pop_least_loaded()
             self._update(worker_id, task.duration)
             self._estimate_of_task[id(task)] = task.duration
-            self.engine.place_task(worker_id, task)
-            self.tasks_placed += 1
+            assignments.append((worker_id, task))
+        self.engine.place_tasks(assignments)
+        self.tasks_placed += len(assignments)
         self.jobs_scheduled += 1

@@ -83,7 +83,9 @@ class SparrowScheduler(SchedulerPolicy):
         ids = self.engine.cluster.ids(self.partition)
         n_probes = self._n_probes(job)
         targets = spread_sample(self._rng, ids, n_probes)
-        for worker_id in targets:
-            self.engine.place_probe(worker_id, job, frontend)
+        # One batched send: all probes of a job arrive at the same
+        # timestamp in target order (the engine falls back to per-probe
+        # events under a jittered network model).
+        self.engine.place_probes(targets, job, frontend)
         self.jobs_scheduled += 1
         self.probes_sent += n_probes

@@ -22,7 +22,7 @@ import random
 from typing import TYPE_CHECKING
 
 from repro.cluster.records import StealingStats
-from repro.cluster.worker import Worker
+from repro.cluster.worker import Worker, WorkerState
 from repro.core.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -63,6 +63,8 @@ class WorkStealing:
         self.retry_max = retry_max
         self.engine: "ClusterEngine | None" = None
         self._rng: random.Random | None = None
+        self._getrandbits = None  # bound rng.getrandbits, set in bind()
+        self._victim_bits = 1
         # Insertion-ordered so wake order is deterministic across
         # processes (a set would pop in address order).
         self._parked: dict[Worker, None] = {}
@@ -76,8 +78,15 @@ class WorkStealing:
             raise RuntimeError("stealing policy bound twice")
         self.engine = engine
         # stdlib RNG: this is the hottest random stream in a run and
-        # numpy's per-call scalar overhead dominates otherwise.
+        # numpy's per-call scalar overhead dominates otherwise.  Victim
+        # draws go through ``getrandbits`` directly using the same
+        # rejection sampling as ``Random.randrange`` (see
+        # ``_randbelow_with_getrandbits``), consuming the Mersenne stream
+        # identically while skipping the per-call range bookkeeping —
+        # this loop draws >1M victims in a full-trace run.
         self._rng = random.Random(engine.config.seed ^ 0x5EA15EA1)
+        self._getrandbits = self._rng.getrandbits
+        self._victim_bits = max(1, engine.cluster.n_general).bit_length()
 
     # ------------------------------------------------------------------
     def on_worker_idle(self, worker: Worker) -> None:
@@ -105,51 +114,67 @@ class WorkStealing:
         attempts = min(self.cap, n - (0 if thief.in_short_partition else 1))
         probed = 0
         seen: set[int] = set()
-        rng = self._rng
+        getrandbits = self._getrandbits
+        bits = self._victim_bits
         workers = cluster.workers
         thief_id = thief.worker_id
         while probed < attempts:
-            victim_id = rng.randrange(n)
-            if victim_id == thief_id or victim_id in seen:
+            # Inlined randrange(n): rejection-sample bit_length(n) bits,
+            # exactly the draws Random.randrange would consume.
+            victim_id = getrandbits(bits)
+            if victim_id >= n or victim_id == thief_id or victim_id in seen:
                 continue
             seen.add(victim_id)
             probed += 1
-            self._victims_probed += 1
-            span = workers[victim_id].eligible_steal_range()
+            victim = workers[victim_id]
+            # Cheap pre-filter (not a copy of the Figure-3 rule): a
+            # victim with no queued short entries can never be eligible,
+            # and that is the overwhelmingly common miss in this loop.
+            # Eligibility itself stays in Worker.eligible_steal_range().
+            if not victim._short_seqs:
+                continue
+            span = victim.eligible_steal_range()
             if span is None:
                 continue
+            self._victims_probed += probed
             stolen = self.engine.transfer_stolen_entries(
-                workers[victim_id], thief, span[0], span[1]
+                victim, thief, span[0], span[1]
             )
             self._successes += 1
             self._entries_stolen += stolen
             return True
+        self._victims_probed += probed
         return False
 
     def _schedule_retry(self, worker: Worker) -> None:
         """Back off and retry while idle; park when no steal can succeed."""
-        assert self.engine is not None
-        if self.engine.all_jobs_done:
+        engine = self.engine
+        assert engine is not None
+        if engine._done:
             return
-        if self.engine.cluster.steal_hint_count == 0:
+        if engine.cluster.steal_hint_count == 0:
             # Nothing in the whole cluster is stealable: sleep until the
             # engine reports eligible work instead of polling.
             self._parked[worker] = None
             return
-        if worker.steal_backoff == 0.0:
-            worker.steal_backoff = self.retry_initial
+        backoff = worker.steal_backoff
+        if backoff == 0.0:
+            backoff = self.retry_initial
         else:
-            worker.steal_backoff = min(worker.steal_backoff * 2.0, self.retry_max)
-        worker.pending_steal_retry = self.engine.sim.schedule(
-            worker.steal_backoff, self._retry_fires, worker
+            backoff *= 2.0
+            if backoff > self.retry_max:
+                backoff = self.retry_max
+        worker.steal_backoff = backoff
+        worker.pending_steal_retry = engine.sim.schedule_cancellable(
+            backoff, self._retry_fires, worker
         )
 
     def _retry_fires(self, worker: Worker) -> None:
         worker.pending_steal_retry = None
         assert self.engine is not None
-        if self.engine.all_jobs_done:
+        if self.engine._done:
             return
-        if not worker.is_idle or worker.queue:
+        if worker.state is not WorkerState.IDLE or worker.queue:
             return
         if self._attempt_round(worker):
             worker.steal_backoff = 0.0
@@ -168,7 +193,7 @@ class WorkStealing:
             return
         for _ in range(min(self.WAKE_LIMIT, len(self._parked))):
             worker, _ = self._parked.popitem()
-            worker.pending_steal_retry = self.engine.sim.schedule(
+            worker.pending_steal_retry = self.engine.sim.schedule_cancellable(
                 0.0, self._retry_fires, worker
             )
 

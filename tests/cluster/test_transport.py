@@ -1,0 +1,122 @@
+"""Event-ordering contract of the batched transport fast paths.
+
+The engine's transport batching (grouped probe/task deliveries, fused
+probe round trips) is a pure transport optimization: every observable —
+delivery order, timestamps, task placements, completion times, stealing
+statistics and the logical ``events_fired`` count — must be bit-identical
+to the per-message event path.  These tests hold it to that.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cluster import ClusterEngine
+from repro.experiments.config import RunSpec, build_engine
+from repro.workloads.spec import JobSpec, Trace
+
+
+def job(job_id, submit, *durations):
+    return JobSpec(
+        job_id=job_id, submit_time=submit, task_durations=tuple(durations)
+    )
+
+
+@pytest.fixture
+def mixed_trace():
+    """Short and long jobs with same-timestamp submissions and contention."""
+    jobs = [
+        job(0, 0.0, *([800.0] * 3)),  # long, centrally placed under hawk
+        job(1, 0.0, 2.0, 3.0, 4.0),  # short, same submit instant as job 0
+        job(2, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+        job(3, 1.0, *([900.0] * 2)),
+        job(4, 1.0, 5.0),
+        job(5, 2.0, 0.5, 0.5, 0.5, 0.5),
+    ]
+    return Trace(jobs, name="transport-mix")
+
+
+def run_result(scheduler: str, trace, batched: bool, seed: int = 7):
+    spec = RunSpec(
+        scheduler=scheduler, n_workers=6, cutoff=100.0, seed=seed
+    )
+    engine = build_engine(spec)
+    engine.transport_batching = batched
+    return engine.run(trace)
+
+
+@pytest.mark.parametrize(
+    "scheduler", ["sparrow", "hawk", "centralized", "split", "omniscient"]
+)
+def test_batched_and_unbatched_runs_are_bit_identical(scheduler, mixed_trace):
+    batched = run_result(scheduler, mixed_trace, batched=True)
+    unbatched = run_result(scheduler, mixed_trace, batched=False)
+    assert pickle.dumps(batched) == pickle.dumps(unbatched)
+
+
+def test_batched_preserves_logical_event_count(mixed_trace):
+    """events_fired counts message arrivals, not heap pops."""
+    batched = run_result("sparrow", mixed_trace, batched=True)
+    unbatched = run_result("sparrow", mixed_trace, batched=False)
+    assert batched.events_fired == unbatched.events_fired
+    # The batched engine must actually be doing less heap work: rebuild
+    # and count physical pops via the sim's pending-events bookkeeping.
+    spec = RunSpec(scheduler="sparrow", n_workers=6, cutoff=100.0, seed=7)
+    pops = {}
+    for flag in (True, False):
+        engine = build_engine(spec)
+        engine.transport_batching = flag
+        engine.run(mixed_trace)
+        pops[flag] = engine.sim._seq  # events pushed == events popped
+    assert pops[True] < pops[False]
+
+
+def test_batched_delivery_preserves_same_timestamp_fifo(mixed_trace):
+    """Probe groups land in target order, interleaved with other events
+    exactly as the per-message path interleaves them (same seq window)."""
+    order_batched: list[int] = []
+    order_unbatched: list[int] = []
+    for flag, sink in ((True, order_batched), (False, order_unbatched)):
+        spec = RunSpec(scheduler="sparrow", n_workers=6, cutoff=100.0, seed=7)
+        engine = build_engine(spec)
+        engine.transport_batching = flag
+        original = ClusterEngine._deliver_entry
+
+        def spy(self, worker_id, entry, _sink=sink, _orig=original):
+            _sink.append(worker_id)
+            _orig(self, worker_id, entry)
+
+        engine._deliver_entry = spy.__get__(engine)
+        # _deliver_batch routes through worker enqueue directly; wrap it
+        # too so both paths record delivery order.
+        original_batch = ClusterEngine._deliver_batch
+
+        def spy_batch(self, worker_ids, entries, _sink=sink):
+            _sink.extend(worker_ids)
+            return original_batch(self, worker_ids, entries)
+
+        engine._deliver_batch = spy_batch.__get__(engine)
+        engine.run(mixed_trace)
+    assert order_batched == order_unbatched
+
+
+def test_determinism_same_seed_same_bytes_through_fused_path(mixed_trace):
+    """Same seed ⇒ same RunResult bytes on the default (fused) path."""
+    a = run_result("hawk", mixed_trace, batched=True, seed=11)
+    b = run_result("hawk", mixed_trace, batched=True, seed=11)
+    assert pickle.dumps(a) == pickle.dumps(b)
+    c = run_result("hawk", mixed_trace, batched=True, seed=12)
+    assert pickle.dumps(a) != pickle.dumps(c)
+
+
+def test_stealing_engine_agrees_across_transports(mixed_trace):
+    """Hawk (probes + central placement + stealing retries) is the
+    worst-case interleaving; stealing stats must agree too."""
+    batched = run_result("hawk", mixed_trace, batched=True)
+    unbatched = run_result("hawk", mixed_trace, batched=False)
+    assert batched.stealing == unbatched.stealing
+    assert [j.completion_time for j in batched.jobs] == [
+        j.completion_time for j in unbatched.jobs
+    ]

@@ -40,10 +40,28 @@ def test_same_time_events_fire_in_schedule_order():
     assert fired == list(range(10))
 
 
+def test_same_time_fifo_across_both_schedule_paths():
+    """The FIFO contract holds across plain and cancellable entries."""
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, "plain-0")
+    sim.schedule_cancellable(1.0, fired.append, "cancellable-1")
+    sim.schedule(1.0, fired.append, "plain-2")
+    sim.schedule_cancellable(1.0, fired.append, "cancellable-3")
+    sim.run()
+    assert fired == ["plain-0", "cancellable-1", "plain-2", "cancellable-3"]
+
+
 def test_schedule_negative_delay_rejected():
     sim = Simulation()
     with pytest.raises(SimulationError):
         sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_cancellable_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule_cancellable(-0.1, lambda: None)
 
 
 def test_schedule_at_in_past_rejected():
@@ -57,7 +75,7 @@ def test_schedule_at_in_past_rejected():
 def test_cancelled_event_does_not_fire():
     sim = Simulation()
     fired = []
-    handle = sim.schedule(1.0, fired.append, "x")
+    handle = sim.schedule_cancellable(1.0, fired.append, "x")
     handle.cancel()
     sim.run()
     assert fired == []
@@ -66,7 +84,7 @@ def test_cancelled_event_does_not_fire():
 
 def test_cancel_is_idempotent():
     sim = Simulation()
-    handle = sim.schedule(1.0, lambda: None)
+    handle = sim.schedule_cancellable(1.0, lambda: None)
     handle.cancel()
     handle.cancel()
     sim.run()
@@ -122,6 +140,16 @@ def test_run_until_advances_clock_when_no_events():
     assert sim.now == 42.0
 
 
+def test_run_until_fires_cancellable_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule_cancellable(1.0, fired.append, "live")
+    sim.schedule_cancellable(2.0, fired.append, "dead").cancel()
+    sim.run(until=5.0)
+    assert fired == ["live"]
+    assert sim.now == 5.0
+
+
 def test_max_events_budget_raises():
     sim = Simulation()
 
@@ -133,13 +161,35 @@ def test_max_events_budget_raises():
         sim.run(max_events=100)
 
 
+def test_max_events_budget_counts_logical_events():
+    """A batched delivery spends its full logical count of the budget."""
+    sim = Simulation()
+
+    def batch_of(k):
+        sim.add_logical_events(k - 1)
+        sim.schedule(1.0, batch_of, k)
+
+    sim.schedule(1.0, batch_of, 10)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run(max_events=100)
+    # 100-event budget, 10 logical events per pop: ~10 pops, not 100.
+    assert sim.events_fired <= 110
+
+
 def test_events_fired_counts_only_executed():
     sim = Simulation()
     sim.schedule(1.0, lambda: None)
-    handle = sim.schedule(2.0, lambda: None)
+    handle = sim.schedule_cancellable(2.0, lambda: None)
     handle.cancel()
     sim.run()
     assert sim.events_fired == 1
+
+
+def test_add_logical_events_counts_batched_deliveries():
+    sim = Simulation()
+    sim.schedule(1.0, sim.add_logical_events, 4)
+    sim.run()
+    assert sim.events_fired == 5  # one pop, five logical deliveries
 
 
 def test_step_fires_one_event():
@@ -157,10 +207,19 @@ def test_step_fires_one_event():
 def test_step_skips_cancelled_events():
     sim = Simulation()
     fired = []
-    sim.schedule(1.0, fired.append, "a").cancel()
+    sim.schedule_cancellable(1.0, fired.append, "a").cancel()
     sim.schedule(2.0, fired.append, "b")
     assert sim.step() is True
     assert fired == ["b"]
+
+
+def test_step_fires_cancellable_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule_cancellable(1.0, fired.append, "a")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.events_fired == 1
 
 
 def test_run_not_reentrant():
@@ -181,9 +240,67 @@ def test_run_not_reentrant():
 def test_pending_events_counts_heap_entries():
     sim = Simulation()
     sim.schedule(1.0, lambda: None)
-    handle = sim.schedule(2.0, lambda: None)
-    handle.cancel()
-    assert sim.pending_events == 2  # cancelled entries stay until popped
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+
+
+def test_cancelled_entries_compact_when_they_dominate():
+    """Cancelled handles may not grow the heap without bound (park/wake
+    churn used to accumulate them until their timestamps drained)."""
+    sim = Simulation()
+    sim.schedule(1000.0, lambda: None)  # one live far-future event
+    for _ in range(500):
+        sim.schedule_cancellable(999.0, lambda: None).cancel()
+    # Lazy compaction keeps the heap bounded by ~2x the live entries.
+    assert sim.pending_events <= 3
+    sim.run()
+    assert sim.events_fired == 1
+    assert sim.now == 1000.0
+
+
+def test_compaction_during_run_keeps_later_events():
+    """Regression: compaction triggered by a callback mid-run() must not
+    strand the event loop on a stale heap — events scheduled after the
+    compaction still fire, in order."""
+    sim = Simulation()
+    fired = []
+    handles = [sim.schedule_cancellable(50.0, fired.append, "dead") for _ in range(64)]
+
+    def cancel_everything_then_chain():
+        for handle in handles:
+            handle.cancel()  # crosses the compaction threshold mid-run
+        sim.schedule(1.0, fired.append, "after-compaction")
+        sim.schedule_cancellable(2.0, fired.append, "cancellable-after")
+
+    sim.schedule(1.0, cancel_everything_then_chain)
+    sim.run()
+    assert fired == ["after-compaction", "cancellable-after"]
+    assert sim.pending_events == 0
+    assert sim.now == 3.0
+
+
+def test_compaction_during_step_keeps_later_events():
+    sim = Simulation()
+    fired = []
+    handles = [sim.schedule_cancellable(50.0, fired.append, "dead") for _ in range(64)]
+    sim.schedule(1.0, lambda: [h.cancel() for h in handles])
+    sim.schedule(2.0, fired.append, "later")
+    assert sim.step() is True  # fires the mass-cancel (compacts)
+    assert sim.step() is True
+    assert fired == ["later"]
+    assert sim.step() is False
+
+
+def test_compaction_preserves_live_events_and_order():
+    sim = Simulation()
+    fired = []
+    handles = [
+        sim.schedule_cancellable(float(i), fired.append, i) for i in range(20)
+    ]
+    for handle in handles[::2]:
+        handle.cancel()  # triggers several compactions along the way
+    sim.run()
+    assert fired == list(range(1, 20, 2))
 
 
 def test_callback_args_are_passed():

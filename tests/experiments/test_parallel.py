@@ -405,3 +405,102 @@ def test_run_cached_uses_default_executor(tmp_path):
         assert injected.executions == 1
     finally:
         set_executor(previous)
+
+
+# -- shared-memory trace transport -------------------------------------------
+def _distinct_specs(n):
+    return [SPEC.with_(seed=i + 1) for i in range(n)]
+
+
+def test_shm_transport_publishes_each_trace_once(tmp_path):
+    """A pool batch over one trace serializes it into one shm segment."""
+    executor = SweepExecutor(
+        max_workers=2, disk_cache=DiskCache(tmp_path), trace_shm=True
+    )
+    trace = small_trace()
+    try:
+        results = executor.run_many([(s, trace) for s in _distinct_specs(4)])
+        assert executor.executions == 4
+        assert executor._transport is not None
+        assert len(executor._transport) == 1  # one distinct trace
+        assert len({r.events_fired for r in results}) >= 1
+    finally:
+        executor.close()
+    assert executor._transport is None  # segments unlinked on close
+
+
+def test_shm_and_inline_transport_results_identical(tmp_path):
+    trace = small_trace()
+    pairs = [(s, trace) for s in _distinct_specs(3)]
+    via_shm = SweepExecutor(
+        max_workers=2, disk_cache=None, trace_shm=True
+    )
+    via_pickle = SweepExecutor(
+        max_workers=2, disk_cache=None, trace_shm=False
+    )
+    try:
+        a = via_shm.run_many(pairs)
+        b = via_pickle.run_many(pairs)
+        assert pickle.dumps(a) == pickle.dumps(b)
+        assert via_shm._transport is not None
+        assert via_pickle._transport is None
+    finally:
+        via_shm.close()
+        via_pickle.close()
+
+
+def test_trace_transport_round_trip_and_worker_cache():
+    from repro.experiments.parallel import (
+        TraceTransport,
+        _trace_from_shm,
+        _worker_trace_cache,
+    )
+
+    transport = TraceTransport()
+    trace = small_trace()
+    try:
+        digest, name, length = transport.publish(trace)
+        assert digest == trace.content_digest()
+        # Publishing again reuses the segment.
+        assert transport.publish(trace) == (digest, name, length)
+        assert len(transport) == 1
+        _worker_trace_cache.clear()
+        loaded = _trace_from_shm(digest, name, length)
+        assert [j.task_durations for j in loaded] == [
+            j.task_durations for j in trace
+        ]
+        # Second load is served from the worker-side cache (same object).
+        assert _trace_from_shm(digest, name, length) is loaded
+    finally:
+        transport.close()
+        _worker_trace_cache.clear()
+    assert len(transport) == 0
+
+
+def test_trace_shm_env_knob(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_SHM", "0")
+    executor = SweepExecutor(max_workers=2, disk_cache=None)
+    assert executor.trace_shm is False
+    monkeypatch.delenv("REPRO_TRACE_SHM")
+    assert SweepExecutor(max_workers=1, disk_cache=None).trace_shm is True
+
+
+def test_content_digest_memoized_per_instance(monkeypatch):
+    """Repeated cache-key computations must not rehash task durations."""
+    import repro.workloads.spec as spec_module
+
+    calls = 0
+    real = spec_module.blake2b
+
+    def counting(*args, **kwargs):
+        nonlocal calls
+        calls += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(spec_module, "blake2b", counting)
+    trace = small_trace()
+    first = trace.content_digest()
+    for _ in range(5):
+        assert trace.content_digest() == first
+        cache_key(SPEC, trace)
+    assert calls == 1

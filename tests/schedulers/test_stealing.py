@@ -165,3 +165,54 @@ def test_stolen_probe_binds_and_marks_task():
     stolen_jobs = [r for r in res.jobs if r.stolen_tasks > 0]
     assert stolen_jobs
     assert all(r.true_class is JobClass.SHORT for r in stolen_jobs)
+
+
+def test_victim_draws_match_stdlib_randrange():
+    """The inlined getrandbits rejection sampler must consume the RNG
+    stream exactly as ``Random.randrange`` does — stealing outcomes (and
+    so every figure) depend on the draws being bit-identical."""
+    import random
+
+    for n in (1, 2, 3, 7, 8, 100, 1023, 1024, 12345):
+        reference = random.Random(42)
+        inlined = random.Random(42)
+        getrandbits = inlined.getrandbits
+        bits = n.bit_length()
+        for _ in range(200):
+            expected = reference.randrange(n)
+            victim = getrandbits(bits)
+            while victim >= n:
+                victim = getrandbits(bits)
+            assert victim == expected, n
+
+
+def test_cancelled_retry_handles_do_not_accumulate():
+    """Regression: park/wake churn in lightly loaded runs used to leave
+    every cancelled backoff retry on the heap until its timestamp
+    drained.  Lazy compaction must keep cancelled entries a bounded
+    fraction of the heap and pending_events in the live-event ballpark."""
+    engine, stealing = build(n_workers=16)
+    # A lightly loaded trickle: one short job at a time with idle gaps,
+    # so idle workers repeatedly schedule, cancel and re-schedule steal
+    # retries (every delivery to a worker with a pending retry cancels it).
+    trace_jobs = [long_job(0, 0.0, tasks=2)]
+    trace_jobs += [short_job(1 + i, 5.0 * i, tasks=2) for i in range(80)]
+    samples = []
+
+    def sampler():
+        sim = engine.sim
+        samples.append((sim.pending_events, sim._cancelled))
+        if not engine.all_jobs_done:
+            sim.schedule(1.0, sampler)
+
+    engine.sim.schedule(1.0, sampler)
+    engine.run(Trace(trace_jobs, name="trickle"))
+    assert stealing.stats().rounds > 0  # the churn actually happened
+    # The compaction invariant: cancelled entries never dominate.
+    for pending, cancelled in samples:
+        assert cancelled * 2 <= pending + 1, (pending, cancelled)
+    # And the heap stays in the same ballpark as the live event count
+    # (pending job submissions + idle-worker timers + in-flight
+    # messages), instead of growing with the cancels issued over the run.
+    max_pending = max(pending for pending, _ in samples)
+    assert max_pending <= 2 * (16 + len(trace_jobs)), max_pending
