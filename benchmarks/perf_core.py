@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.bench import bench_events
+from repro.bench import bench_events, bench_stealing
 
 BASELINE = Path(__file__).resolve().parents[1] / "BENCH_core.json"
 
@@ -35,6 +35,28 @@ def test_quick_bench_matches_committed_event_counts():
     assert fresh["events_per_sec"] > 0
     print(
         f"\nquick-scale core throughput: {fresh['events_per_sec']:,} events/sec "
+        f"(committed baseline {committed['events_per_sec']:,})"
+    )
+
+
+def test_quick_stealing_bench_matches_committed_counters():
+    """The stealing-heavy point's deterministic half: rounds and events.
+
+    Steal rounds and entries stolen are pure functions of (spec, trace),
+    so drift means the stealing mechanism's semantics changed and the
+    baseline — plus ``CACHE_VERSION`` — needs a deliberate regeneration.
+    """
+    fresh = bench_stealing("quick", repeats=1)
+    committed = json.loads(BASELINE.read_text())["quick"]["stealing"]
+    assert fresh["workload"] == committed["workload"]
+    assert fresh["n_workers"] == committed["n_workers"]
+    assert fresh["events"] == committed["events"]
+    assert fresh["steal_rounds"] == committed["steal_rounds"]
+    assert fresh["successful_rounds"] == committed["successful_rounds"]
+    assert fresh["entries_stolen"] == committed["entries_stolen"]
+    print(
+        f"\nquick-scale stealing throughput: {fresh['events_per_sec']:,} "
+        f"events/sec over {fresh['steal_rounds']:,} steal rounds "
         f"(committed baseline {committed['events_per_sec']:,})"
     )
 

@@ -1,0 +1,16 @@
+"""Batch-size sensitivity of the sparrow-batch scenario policy."""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig_batch_size
+
+
+def test_fig_batch_size(benchmark):
+    result = run_figure(benchmark, fig_batch_size.run, "fig_batch_size.txt")
+    rows = {r[0]: r for r in result.rows}
+    # A generous budget stops binding: sparrow-batch converges to Sparrow.
+    assert abs(rows[256][1] - 1.0) < 0.1
+    # The tightest budget (one probe per task, no sampling choice) must
+    # hurt short jobs relative to unconstrained Sparrow.
+    assert rows[1][1] > 1.0
+    # The knee: a mid-size budget already performs about like Sparrow.
+    assert rows[32][1] < rows[1][1]

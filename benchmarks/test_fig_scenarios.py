@@ -1,0 +1,21 @@
+"""Registry-only scenario workloads through the Hawk-vs-Sparrow point.
+
+Committed at quick scale on purpose: the file is the acceptance proof
+that a workload registered outside the experiment layer flows end to end
+(registry -> WorkloadSpec -> sweep -> figure), and quick scale keeps the
+whole-zoo regeneration cheap.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig_scenarios
+
+
+def test_fig_scenarios(benchmark):
+    result = run_figure(
+        benchmark, fig_scenarios.run, "fig_scenarios.txt", scale="quick"
+    )
+    workloads = {r[0] for r in result.rows}
+    assert workloads == {"pareto-heavy", "bursty-diurnal"}
+    for row in result.rows:
+        # every ratio cell finite and positive
+        assert all(v > 0 for v in row[2:7]), row

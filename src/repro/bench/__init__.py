@@ -1,7 +1,7 @@
 """Perf harness for the simulation core (``python -m repro.bench``).
 
-Two measurements, both written to ``BENCH_core.json`` at the repo root so
-every PR leaves a tracked trajectory instead of anecdotes:
+Three measurements, all written to ``BENCH_core.json`` at the repo root
+so every PR leaves a tracked trajectory instead of anecdotes:
 
 * **events/sec** — the canonical mixed workload (the Google-like trace at
   the high-load cluster size) run through Hawk (centralized placement +
@@ -10,6 +10,13 @@ every PR leaves a tracked trajectory instead of anecdotes:
   message deliveries, round-trip legs, task completions), which is
   invariant under transport-level batching, so the metric stays
   comparable across core rewrites.  Wall time is best-of-``repeats``.
+* **stealing events/sec** — Hawk on the Section 2.3 motivation workload
+  at the scenario's recommended cluster size: long tasks occupy the
+  cluster while streams of short jobs land, so idle workers spend the
+  run in work-stealing rounds.  Stealing is the remaining hot loop
+  (ROADMAP); tracking it as its own bench point means a stealing-path
+  regression cannot hide inside the mixed-workload number, and
+  ``--check`` gates it like the canonical events/sec.
 * **sweep wall-times** — a two-point Figure-5 sweep through a fresh
   :class:`~repro.experiments.parallel.SweepExecutor` with an isolated
   disk cache: cold (every run executed) and warm (every run served from
@@ -38,6 +45,8 @@ from repro.experiments.traces import (
     google_short_fraction,
     google_trace,
 )
+from repro.workloads.motivation import MotivationConfig
+from repro.workloads.registry import WorkloadSpec
 from repro.workloads.spec import Trace
 
 #: Fail ``--check`` when fresh events/sec drop below committed/this.
@@ -102,6 +111,50 @@ def bench_events(scale: str, repeats: int = 3) -> dict:
     return out
 
 
+def bench_stealing(scale: str, repeats: int = 3) -> dict:
+    """Events/sec of a stealing-heavy Hawk run, best-of-``repeats``.
+
+    The Section 2.3 motivation scenario at the paper's recommended
+    cluster size: 95% of jobs are 100-task shorts landing while 1000-task
+    long jobs occupy the general partition, so short-partition workers go
+    idle and drive continuous stealing rounds.  Returns the stealing
+    counters alongside the timing so the deterministic half (rounds,
+    entries stolen, logical events) can be pinned by tier-1.
+    """
+    motivation_scale = 0.1 if scale == "full" else 0.02
+    workload = WorkloadSpec("motivation", {"scale": motivation_scale})
+    trace = workload.trace(0)
+    n_workers = MotivationConfig().scaled(motivation_scale).n_servers
+    spec = RunSpec(
+        scheduler="hawk",
+        n_workers=n_workers,
+        cutoff=workload.cutoff,
+        short_partition_fraction=workload.short_partition_fraction,
+    )
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        engine = build_engine(spec)
+        start = time.perf_counter()
+        result = engine.run(trace)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "workload": {
+            "name": "motivation",
+            "scale": motivation_scale,
+            "jobs": len(trace),
+            "tasks": trace.total_tasks,
+        },
+        "n_workers": n_workers,
+        "events": result.events_fired,
+        "steal_rounds": result.stealing.rounds,
+        "successful_rounds": result.stealing.successful_rounds,
+        "entries_stolen": result.stealing.entries_stolen,
+        "wall_s": round(best, 4),
+        "events_per_sec": round(result.events_fired / best),
+    }
+
+
 def bench_sweep(scale: str) -> dict:
     """Cold vs warm wall time of a two-point fig05 sweep (isolated caches)."""
     # Imported here: experiments.parallel spins executor state on import.
@@ -134,6 +187,7 @@ def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "events": bench_events(scale, repeats=repeats),
+        "stealing": bench_stealing(scale, repeats=repeats),
         "sweep": bench_sweep(scale),
     }
 
@@ -172,6 +226,18 @@ def check_regression(baseline_path: Path, section: str, fresh: dict) -> list[str
             f"events/sec regression: measured {measured} < floor {floor:.0f} "
             f"(committed {committed} / {REGRESSION_FACTOR})"
         )
+    # The stealing-heavy point is gated the same way (baselines written
+    # before the point existed simply skip it).
+    if "stealing" in baseline and "stealing" in fresh:
+        committed = baseline["stealing"]["events_per_sec"]
+        measured = fresh["stealing"]["events_per_sec"]
+        floor = committed / REGRESSION_FACTOR
+        if measured < floor:
+            failures.append(
+                f"stealing events/sec regression: measured {measured} < "
+                f"floor {floor:.0f} (committed {committed} / "
+                f"{REGRESSION_FACTOR})"
+            )
     return failures
 
 

@@ -27,6 +27,7 @@ from repro.experiments.parallel import (
 from repro.experiments.report import FigureResult, ascii_cdf, ascii_table
 from repro.experiments.runner import clear_cache, run_cached, run_replicated
 from repro.experiments.sweeps import ReplicatedPoint, SweepPoint, sweep
+from repro.workloads.registry import WorkloadSpec
 
 __all__ = [
     "DiskCache",
@@ -36,6 +37,7 @@ __all__ = [
     "RunSpec",
     "SweepExecutor",
     "SweepPoint",
+    "WorkloadSpec",
     "ascii_cdf",
     "ascii_table",
     "build_engine",

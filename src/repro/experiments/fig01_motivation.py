@@ -13,7 +13,8 @@ from repro.experiments.config import RunSpec
 from repro.experiments.report import FigureResult, ascii_cdf
 from repro.experiments.runner import run_cached
 from repro.metrics.percentiles import percentile
-from repro.workloads.motivation import MotivationConfig, motivation_trace
+from repro.workloads.motivation import MotivationConfig
+from repro.workloads.registry import WorkloadSpec
 
 #: Default scale: 1/10th of the paper's scenario (100 jobs, 1500 servers)
 #: keeps the bench quick; scale=1.0 reproduces the full 1000x15000 setup.
@@ -21,8 +22,10 @@ DEFAULT_SCALE = 0.1
 
 
 def run(scale: float = DEFAULT_SCALE, seed: int = 0) -> FigureResult:
-    config = MotivationConfig().scaled(scale) if scale != 1.0 else MotivationConfig()
-    trace = motivation_trace(config, seed=seed)
+    # The trace comes through the registry; the config is still needed
+    # locally for the scenario's recommended server count.
+    config = MotivationConfig().scaled(scale)
+    trace = WorkloadSpec("motivation", {"scale": scale}).trace(seed)
     spec = RunSpec(
         scheduler="sparrow",
         n_workers=config.n_servers,

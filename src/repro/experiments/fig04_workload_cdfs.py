@@ -11,9 +11,8 @@ from __future__ import annotations
 from repro.experiments.report import FigureResult
 from repro.experiments.traces import (
     ALL_WORKLOAD_SPECS,
-    google_cutoff,
-    google_trace,
-    kmeans_workload_trace,
+    google_workload,
+    kmeans_workload,
 )
 from repro.metrics.percentiles import percentile
 
@@ -21,9 +20,10 @@ _PERCENTILES = (10, 25, 50, 75, 90, 99)
 
 
 def _traces(scale: str, seed: int):
-    yield google_trace(scale, seed), google_cutoff()
-    for spec in ALL_WORKLOAD_SPECS:
-        yield kmeans_workload_trace(spec, scale, seed), spec.cutoff
+    for workload in (google_workload(scale),) + tuple(
+        kmeans_workload(spec, scale) for spec in ALL_WORKLOAD_SPECS
+    ):
+        yield workload.trace(seed), workload.cutoff
 
 
 def run(scale: str = "full", seed: int = 0) -> FigureResult:

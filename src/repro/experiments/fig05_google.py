@@ -17,12 +17,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import extra_metrics, sweep
-from repro.experiments.traces import (
-    google_cutoff,
-    google_short_fraction,
-    google_trace,
-    google_trace_factory,
-)
+from repro.experiments.traces import google_workload
 
 
 def run(
@@ -31,25 +26,19 @@ def run(
     utilization_targets=GOOGLE_UTILIZATION_TARGETS,
     n_seeds: int = 1,
 ) -> FigureResult:
-    trace = google_trace(scale, seed)
-    cutoff = google_cutoff()
+    workload = google_workload(scale)
+    trace = workload.trace(seed)
+    cutoff = workload.cutoff
     sizes = sweep_sizes(trace, utilization_targets)
     hawk = RunSpec(
         scheduler="hawk",
         n_workers=1,
         cutoff=cutoff,
-        short_partition_fraction=google_short_fraction(),
+        short_partition_fraction=workload.short_partition_fraction,
         seed=seed,
     )
     sparrow = RunSpec(scheduler="sparrow", n_workers=1, cutoff=cutoff, seed=seed)
-    points = sweep(
-        trace,
-        sizes,
-        hawk,
-        sparrow,
-        n_seeds=n_seeds,
-        trace_factory=google_trace_factory(scale),
-    )
+    points = sweep(workload, sizes, hawk, sparrow, n_seeds=n_seeds)
 
     result = FigureResult(
         figure_id="Figure 5",

@@ -18,12 +18,7 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import RunSpec
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import extra_metrics, sweep
-from repro.experiments.traces import (
-    google_cutoff,
-    google_scale_trace,
-    google_scale_trace_factory,
-    google_short_fraction,
-)
+from repro.experiments.traces import google_scale_workload
 
 #: The headline cluster size (the paper's sweeps stop near 5k).
 SCALE_N_WORKERS = 10_000
@@ -34,25 +29,19 @@ def run(
     sizes: tuple[int, ...] = (SCALE_N_WORKERS,),
     n_seeds: int = 1,
 ) -> FigureResult:
-    trace = google_scale_trace(seed)
+    workload = google_scale_workload()
+    trace = workload.trace(seed)
     hawk = RunSpec(
         scheduler="hawk",
         n_workers=1,
-        cutoff=google_cutoff(),
-        short_partition_fraction=google_short_fraction(),
+        cutoff=workload.cutoff,
+        short_partition_fraction=workload.short_partition_fraction,
         seed=seed,
     )
     sparrow = RunSpec(
-        scheduler="sparrow", n_workers=1, cutoff=google_cutoff(), seed=seed
+        scheduler="sparrow", n_workers=1, cutoff=workload.cutoff, seed=seed
     )
-    points = sweep(
-        trace,
-        sizes,
-        hawk,
-        sparrow,
-        n_seeds=n_seeds,
-        trace_factory=google_scale_trace_factory() if n_seeds > 1 else None,
-    )
+    points = sweep(workload, sizes, hawk, sparrow, n_seeds=n_seeds)
 
     result = FigureResult(
         figure_id="Figure 5 (scale)",

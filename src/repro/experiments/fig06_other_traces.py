@@ -11,11 +11,7 @@ from __future__ import annotations
 from repro.experiments.config import GOOGLE_UTILIZATION_TARGETS, RunSpec, sweep_sizes
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import sweep
-from repro.experiments.traces import (
-    ALL_WORKLOAD_SPECS,
-    kmeans_trace_factory,
-    kmeans_workload_trace,
-)
+from repro.experiments.traces import ALL_WORKLOAD_SPECS, kmeans_workload
 
 
 def run(
@@ -38,29 +34,22 @@ def run(
         ),
     )
     for spec in ALL_WORKLOAD_SPECS:
-        trace = kmeans_workload_trace(spec, scale, seed)
-        sizes = sweep_sizes(trace, utilization_targets)
+        workload = kmeans_workload(spec, scale)
+        sizes = sweep_sizes(workload.trace(seed), utilization_targets)
         hawk = RunSpec(
             scheduler="hawk",
             n_workers=1,
-            cutoff=spec.cutoff,
-            short_partition_fraction=spec.short_partition_fraction,
+            cutoff=workload.cutoff,
+            short_partition_fraction=workload.short_partition_fraction,
             seed=seed,
         )
         sparrow = RunSpec(
-            scheduler="sparrow", n_workers=1, cutoff=spec.cutoff, seed=seed
+            scheduler="sparrow", n_workers=1, cutoff=workload.cutoff, seed=seed
         )
-        points = sweep(
-            trace,
-            sizes,
-            hawk,
-            sparrow,
-            n_seeds=n_seeds,
-            trace_factory=kmeans_trace_factory(spec, scale),
-        )
+        points = sweep(workload, sizes, hawk, sparrow, n_seeds=n_seeds)
         for point in points:
             result.add_row(
-                spec.name,
+                workload.name,
                 point.n_workers,
                 point.cell("baseline_median_utilization"),
                 point.cell("short_p90_ratio"),

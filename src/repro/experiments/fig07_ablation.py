@@ -14,12 +14,7 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
 from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.traces import (
-    google_cutoff,
-    google_short_fraction,
-    google_trace,
-    google_trace_factory,
-)
+from repro.experiments.traces import google_workload
 from repro.metrics.comparison import normalized_percentile
 from repro.metrics.stats import paired_cell
 from repro.schedulers import registry
@@ -37,24 +32,23 @@ def run(
     # at run time: any policy registered with ``ablation_of="hawk"`` —
     # including one registered outside this package — joins the figure.
     variants = registry.ablations_of("hawk")
-    trace = google_trace(scale, seed)
-    cutoff = google_cutoff()
+    workload = google_workload(scale)
+    trace = workload.trace(seed)
     n = high_load_size(trace, load_target)
     base_spec = RunSpec(
         scheduler="hawk",
         n_workers=n,
-        cutoff=cutoff,
-        short_partition_fraction=google_short_fraction(),
+        cutoff=workload.cutoff,
+        short_partition_fraction=workload.short_partition_fraction,
         seed=seed,
     )
     # One batch: full Hawk plus every ablation variant, per replica seed.
     # Each replica's variants normalize to the same replica's full Hawk
     # (matched seeds and trace draw), so per-replica ratios pair up.
-    factory = google_trace_factory(scale)
     seeds = replica_seeds(seed, n_seeds)
     batch = []
     for r, s in enumerate(seeds):
-        replica_trace = trace if r == 0 else factory(s)
+        replica_trace = workload.trace(s)
         replica_base = base_spec.with_(seed=s)
         batch.append((replica_base, replica_trace))
         batch.extend(

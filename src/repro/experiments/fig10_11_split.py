@@ -17,12 +17,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import sweep
-from repro.experiments.traces import (
-    google_cutoff,
-    google_short_fraction,
-    google_trace,
-    google_trace_factory,
-)
+from repro.experiments.traces import google_workload
 
 
 def run(
@@ -31,21 +26,21 @@ def run(
     utilization_targets=GOOGLE_UTILIZATION_TARGETS,
     n_seeds: int = 1,
 ) -> FigureResult:
-    trace = google_trace(scale, seed)
-    cutoff = google_cutoff()
-    sizes = sweep_sizes(trace, utilization_targets)
+    workload = google_workload(scale)
+    cutoff = workload.cutoff
+    sizes = sweep_sizes(workload.trace(seed), utilization_targets)
     hawk = RunSpec(
         scheduler="hawk",
         n_workers=1,
         cutoff=cutoff,
-        short_partition_fraction=google_short_fraction(),
+        short_partition_fraction=workload.short_partition_fraction,
         seed=seed,
     )
     split = RunSpec(
         scheduler="split",
         n_workers=1,
         cutoff=cutoff,
-        short_partition_fraction=google_short_fraction(),
+        short_partition_fraction=workload.short_partition_fraction,
         seed=seed,
     )
     result = FigureResult(
@@ -60,14 +55,7 @@ def run(
             "long p90",
         ),
     )
-    points = sweep(
-        trace,
-        sizes,
-        hawk,
-        split,
-        n_seeds=n_seeds,
-        trace_factory=google_trace_factory(scale),
-    )
+    points = sweep(workload, sizes, hawk, split, n_seeds=n_seeds)
     for point in points:
         result.add_row(
             point.n_workers,

@@ -12,11 +12,7 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
 from repro.experiments.parallel import get_executor
 from repro.experiments.report import FigureResult
-from repro.experiments.traces import (
-    google_short_fraction,
-    google_trace,
-    google_trace_factory,
-)
+from repro.experiments.traces import google_workload
 from repro.metrics.comparison import normalized_percentile
 from repro.metrics.stats import mean, paired_cell
 from repro.workloads.replication import replica_seeds
@@ -32,11 +28,10 @@ def run(
     load_target: float = HIGH_LOAD_TARGET,
     n_seeds: int = 1,
 ) -> FigureResult:
-    trace = google_trace(scale, seed)
-    n = high_load_size(trace, load_target)
-    factory = google_trace_factory(scale)
+    workload = google_workload(scale)
+    n = high_load_size(workload.trace(seed), load_target)
     seeds = replica_seeds(seed, n_seeds)
-    traces = [trace] + [factory(s) for s in seeds[1:]]
+    traces = [workload.trace(s) for s in seeds]
     result = FigureResult(
         figure_id="Figures 12-13",
         title=f"Cutoff sensitivity, Hawk normalized to Sparrow ({n} nodes)",
@@ -58,7 +53,7 @@ def run(
                 scheduler="hawk",
                 n_workers=n,
                 cutoff=cutoff,
-                short_partition_fraction=google_short_fraction(),
+                short_partition_fraction=workload.short_partition_fraction,
                 seed=s,
             )
             sparrow = RunSpec(

@@ -23,7 +23,7 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import run_replicated
-from repro.experiments.traces import google_cutoff, google_short_fraction, google_trace
+from repro.experiments.traces import google_workload
 from repro.metrics.comparison import normalized_percentile
 from repro.metrics.stats import paired_cell
 from repro.schedulers.estimator import UniformMisestimation
@@ -50,8 +50,9 @@ def run(
     n_seeds: int = DEFAULT_N_SEEDS,
     load_target: float = HIGH_LOAD_TARGET,
 ) -> FigureResult:
-    trace = google_trace(scale, seed)
-    cutoff = google_cutoff()
+    workload = google_workload(scale)
+    trace = workload.trace(seed)
+    cutoff = workload.cutoff
     n = high_load_size(trace, load_target)
     # The trace is held fixed across replicas on purpose: the axis under
     # study is estimator noise, not workload noise.
@@ -77,7 +78,7 @@ def run(
             scheduler="hawk",
             n_workers=n,
             cutoff=cutoff,
-            short_partition_fraction=google_short_fraction(),
+            short_partition_fraction=workload.short_partition_fraction,
             seed=seed,
             estimate=UniformMisestimation(low, high, seed=seed),
             # The estimator's base seed is part of its identity: replica

@@ -25,8 +25,7 @@ from repro.experiments.report import FigureResult
 from repro.experiments.traces import google_short_fraction
 from repro.metrics.percentiles import percentile
 from repro.runtime import PrototypeCluster, PrototypeConfig
-from repro.workloads import GOOGLE_CUTOFF_S, google_like_trace
-from repro.workloads.google import GoogleTraceConfig
+from repro.workloads import GOOGLE_CUTOFF_S, WorkloadSpec
 from repro.workloads.scaling import scale_trace_for_prototype, with_interarrival
 
 #: The paper's load sweep (inter-arrival multiples).
@@ -60,7 +59,10 @@ def run(
     target_mean_task_runtime: float = 0.12,
     seed: int = 3,
 ) -> FigureResult:
-    base = google_like_trace(GoogleTraceConfig(n_jobs=n_jobs), seed=seed)
+    # The base sample is declared by workload spec; the prototype scaling
+    # is a transform on top (it needs the time factor and the carried
+    # long-job classification, not just the scaled trace).
+    base = WorkloadSpec("google", {"n_jobs": n_jobs}).trace(seed)
     scaled = scale_trace_for_prototype(
         base,
         cluster_size=n_monitors,

@@ -69,6 +69,7 @@ from typing import Sequence
 from repro.cluster.records import RunResult
 from repro.core.errors import ConfigurationError
 from repro.experiments.config import RunSpec, execute
+from repro.workloads.registry import WorkloadSpec
 from repro.workloads.replication import TraceFactory
 from repro.workloads.spec import Trace
 
@@ -307,7 +308,7 @@ def _disk_cache_from_env() -> DiskCache | None:
 
 def replica_pairs(
     spec: RunSpec,
-    trace: Trace,
+    trace: Trace | WorkloadSpec,
     n_seeds: int,
     trace_factory: TraceFactory | None = None,
 ) -> list[tuple[RunSpec, Trace]]:
@@ -319,7 +320,15 @@ def replica_pairs(
     seed; replica 0 always uses the given ``trace`` verbatim, so the
     ``n_seeds=1`` expansion is exactly the historical single run — same
     spec, same trace object, same cache key.
+
+    A :class:`~repro.workloads.registry.WorkloadSpec` is accepted in
+    place of the trace: it materializes at the spec's base seed and
+    serves as its own per-replica factory (a ``WorkloadSpec`` *is* a
+    ``TraceFactory``).
     """
+    if isinstance(trace, WorkloadSpec):
+        trace_factory = trace_factory or trace
+        trace = trace.trace(spec.seed)
     specs = spec.replicas(n_seeds)
     pairs: list[tuple[RunSpec, Trace]] = [(specs[0], trace)]
     for replica in specs[1:]:
@@ -513,7 +522,7 @@ class SweepExecutor:
     def run_replicated(
         self,
         spec: RunSpec,
-        trace: Trace,
+        trace: Trace | WorkloadSpec,
         n_seeds: int,
         trace_factory: TraceFactory | None = None,
     ) -> list[RunResult]:
@@ -521,10 +530,11 @@ class SweepExecutor:
 
         Replica ``r`` uses seed ``spec.seed + r`` and, when a
         ``trace_factory`` is given, an independent trace drawn from that
-        seed (see :func:`replica_pairs`).  Each replica has its own
-        cache key — the seed is a compared spec field and replica traces
-        have distinct content digests — so replicas hit the two-tier
-        cache independently and fan out over the pool as one batch.
+        seed (see :func:`replica_pairs`; a ``WorkloadSpec`` in place of
+        the trace is its own factory).  Each replica has its own cache
+        key — the seed is a compared spec field and replica traces have
+        distinct content digests — so replicas hit the two-tier cache
+        independently and fan out over the pool as one batch.
         ``run_replicated(spec, trace, 1)`` is exactly
         ``[run_one(spec, trace)]``.
         """

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.cluster.records import RunResult
 from repro.experiments.config import RunSpec
 from repro.experiments.parallel import get_executor
+from repro.workloads.registry import WorkloadSpec
 from repro.workloads.replication import TraceFactory
 from repro.workloads.spec import Trace
 
@@ -31,7 +32,7 @@ def run_cached(spec: RunSpec, trace: Trace) -> RunResult:
 
 def run_replicated(
     spec: RunSpec,
-    trace: Trace,
+    trace: Trace | WorkloadSpec,
     n_seeds: int,
     trace_factory: TraceFactory | None = None,
 ) -> list[RunResult]:
@@ -39,8 +40,11 @@ def run_replicated(
 
     Replica ``r`` re-seeds the spec with ``spec.seed + r`` (and redraws
     the trace from that seed when a factory is given); each replica is
-    cached under its own key.  ``run_replicated(spec, trace, 1)`` is
-    exactly ``[run_cached(spec, trace)]``.
+    cached under its own key.  A
+    :class:`~repro.workloads.registry.WorkloadSpec` is accepted in place
+    of the trace and serves as its own factory.
+    ``run_replicated(spec, trace, 1)`` is exactly
+    ``[run_cached(spec, trace)]``.
     """
     return get_executor().run_replicated(spec, trace, n_seeds, trace_factory)
 

@@ -36,6 +36,7 @@ from repro.metrics.comparison import (
     normalized_percentile,
 )
 from repro.metrics.stats import SummaryStats, mean, summarize
+from repro.workloads.registry import WorkloadSpec
 from repro.workloads.replication import TraceFactory, replica_seeds
 from repro.workloads.spec import Trace
 
@@ -193,7 +194,7 @@ def _replica_traces(
 
 
 def compare_at_size(
-    trace: Trace,
+    trace: Trace | WorkloadSpec,
     n_workers: int,
     candidate_spec: RunSpec,
     baseline_spec: RunSpec,
@@ -214,7 +215,7 @@ def compare_at_size(
 
 
 def sweep(
-    trace: Trace,
+    trace: Trace | WorkloadSpec,
     sizes,
     candidate_spec: RunSpec,
     baseline_spec: RunSpec,
@@ -230,7 +231,14 @@ def sweep(
     derive from the candidate spec's seed (drivers give candidate and
     baseline the same base seed; each spec's own base is offset
     per-replica, keeping the pairing matched either way).
+
+    A :class:`~repro.workloads.registry.WorkloadSpec` is accepted in
+    place of the trace: it materializes at the candidate spec's seed and
+    serves as the per-replica trace factory unless one is given.
     """
+    if isinstance(trace, WorkloadSpec):
+        trace_factory = trace_factory or trace
+        trace = trace.trace(candidate_spec.seed)
     executor = executor or get_executor()
     seeds = replica_seeds(candidate_spec.seed, n_seeds)
     traces = _replica_traces(trace, seeds, trace_factory)

@@ -5,9 +5,8 @@ from __future__ import annotations
 from repro.experiments.report import FigureResult
 from repro.experiments.traces import (
     ALL_WORKLOAD_SPECS,
-    google_cutoff,
-    google_trace,
-    kmeans_workload_trace,
+    google_workload,
+    kmeans_workload,
 )
 from repro.metrics.stats import summarize
 from repro.workloads.analysis import workload_summary
@@ -33,13 +32,12 @@ PAPER_TABLE2 = {
 def _summaries(scale: str, seed: int, n_seeds: int = 1):
     """Per workload: one :func:`workload_summary` per replica seed."""
     seeds = replica_seeds(seed, n_seeds)
-    yield [
-        workload_summary(google_trace(scale, s), google_cutoff())
-        for s in seeds
-    ]
-    for spec in ALL_WORKLOAD_SPECS:
+    workloads = (google_workload(scale),) + tuple(
+        kmeans_workload(spec, scale) for spec in ALL_WORKLOAD_SPECS
+    )
+    for workload in workloads:
         yield [
-            workload_summary(kmeans_workload_trace(spec, scale, s), spec.cutoff)
+            workload_summary(workload.trace(s), workload.cutoff)
             for s in seeds
         ]
 

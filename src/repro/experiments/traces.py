@@ -1,96 +1,82 @@
-"""Canonical experiment traces (full and quick-scale variants).
+"""Canonical experiment workloads, named as :class:`WorkloadSpec` values.
 
-All figure drivers obtain their input workloads here so that runs are
-shared through the cache and every experiment agrees on the trace.
+All figure drivers obtain their input workloads here so every experiment
+agrees on the trace identity.  Since the workload registry
+(:mod:`repro.workloads.registry`) became the construction path, this
+module is nothing but registry lookups: each helper returns the
+``WorkloadSpec`` naming a registered workload at the canonical full or
+quick scale, and trace materialization (with its per-process cache) is
+``spec.trace(seed)`` — the module-level trace cache that used to live
+here is gone.
+
+Compatibility accessors (``google_trace(scale, seed)`` and friends)
+remain for callers that want the materialized trace directly; they are
+one-line spec lookups.
 """
 
 from __future__ import annotations
 
-from repro.workloads import (
-    CLOUDERA_C,
-    FACEBOOK_2010,
-    GOOGLE_CUTOFF_S,
-    YAHOO_2011,
-    GoogleTraceConfig,
-    google_like_trace,
-    kmeans_trace,
-)
+from repro.workloads import CLOUDERA_C, FACEBOOK_2010, GOOGLE_CUTOFF_S, YAHOO_2011
 from repro.workloads.google import GOOGLE_SHORT_PARTITION_FRACTION
 from repro.workloads.kmeans import KMeansWorkloadSpec
-from repro.workloads.replication import TraceFactory
+from repro.workloads.registry import WorkloadSpec
 from repro.workloads.spec import Trace
 
 #: Jobs per generated trace at the two scales.  "full" is the default used
 #: by the benchmark harness; "quick" keeps unit/integration tests fast.
+#: (The full-scale values are the registered defaults; quick overrides
+#: match each entry's registered ``quick_params``.)
 _GOOGLE_JOBS = {"full": 1200, "quick": 260}
 _KMEANS_JOBS = {"full": 900, "quick": 240}
 
-#: The 10k-worker scale point (fig05_scale): same generator, arrivals
-#: densified so ~10,000 nodes sit at high-but-not-overloaded utilization
-#: (nodes-for-full-utilization scales with mean work / inter-arrival, not
-#: with job count).
-_GOOGLE_SCALE_JOBS = 3000
-_GOOGLE_SCALE_INTERARRIVAL = 3.2
 
-_cache: dict[tuple, Trace] = {}
+def google_workload(scale: str = "full") -> WorkloadSpec:
+    """The synthetic Google-like workload at the canonical scale."""
+    return WorkloadSpec("google", {"n_jobs": _GOOGLE_JOBS[scale]})
+
+
+def kmeans_workload(spec: KMeansWorkloadSpec, scale: str = "full") -> WorkloadSpec:
+    """A Cloudera/Facebook/Yahoo workload at the canonical scale."""
+    return WorkloadSpec(spec.name, {"n_jobs": _KMEANS_JOBS[scale]})
+
+
+def google_scale_workload() -> WorkloadSpec:
+    """The densified Google workload for the 10k-worker scale point."""
+    return WorkloadSpec("google-scale10k")
 
 
 def google_trace(scale: str = "full", seed: int = 0) -> Trace:
-    """The synthetic Google-like trace used throughout the evaluation."""
-    key = ("google", scale, seed)
-    if key not in _cache:
-        config = GoogleTraceConfig(n_jobs=_GOOGLE_JOBS[scale])
-        _cache[key] = google_like_trace(config, seed=seed)
-    return _cache[key]
+    """The materialized Google-like trace (shared per-process cache)."""
+    return google_workload(scale).trace(seed)
 
 
 def kmeans_workload_trace(
     spec: KMeansWorkloadSpec, scale: str = "full", seed: int = 0
 ) -> Trace:
-    """A Cloudera/Facebook/Yahoo trace at the requested scale."""
-    key = (spec.name, scale, seed)
-    if key not in _cache:
-        _cache[key] = kmeans_trace(
-            spec,
-            n_jobs=_KMEANS_JOBS[scale],
-            mean_interarrival=20.0,
-            seed=seed,
-        )
-    return _cache[key]
+    """A materialized Cloudera/Facebook/Yahoo trace at the requested scale."""
+    return kmeans_workload(spec, scale).trace(seed)
 
 
 def google_scale_trace(seed: int = 0) -> Trace:
-    """The densified Google-like trace for the 10k-worker scale point."""
-    key = ("google-scale10k", seed)
-    if key not in _cache:
-        config = GoogleTraceConfig(
-            n_jobs=_GOOGLE_SCALE_JOBS,
-            mean_interarrival=_GOOGLE_SCALE_INTERARRIVAL,
-        )
-        _cache[key] = google_like_trace(config, seed=seed)
-    return _cache[key]
+    """The materialized densified trace for the 10k-worker scale point."""
+    return google_scale_workload().trace(seed)
 
 
-def google_scale_trace_factory() -> TraceFactory:
-    """``seed -> Trace`` for seed-replicated 10k-worker sweeps."""
-    return google_scale_trace
-
-
-def google_trace_factory(scale: str = "full") -> TraceFactory:
-    """``seed -> Trace`` for seed-replicated sweeps of the Google trace.
-
-    Backed by the same per-(scale, seed) cache as :func:`google_trace`,
-    so replicas regenerate once per process and identical seeds share
-    run-cache entries across figures.
-    """
-    return lambda seed: google_trace(scale, seed)
+def google_trace_factory(scale: str = "full") -> WorkloadSpec:
+    """``seed -> Trace`` factory for the Google workload (= its spec)."""
+    return google_workload(scale)
 
 
 def kmeans_trace_factory(
     spec: KMeansWorkloadSpec, scale: str = "full"
-) -> TraceFactory:
-    """``seed -> Trace`` for seed-replicated sweeps of a k-means workload."""
-    return lambda seed: kmeans_workload_trace(spec, scale, seed)
+) -> WorkloadSpec:
+    """``seed -> Trace`` factory for a k-means workload (= its spec)."""
+    return kmeans_workload(spec, scale)
+
+
+def google_scale_trace_factory() -> WorkloadSpec:
+    """``seed -> Trace`` factory for the 10k-worker scale point."""
+    return google_scale_workload()
 
 
 def google_cutoff() -> float:

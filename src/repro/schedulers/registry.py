@@ -14,7 +14,10 @@ A registration consists of
   default, validation range/choices).  ``RunSpec`` validates its
   ``params`` mapping against this schema at construction time and
   canonicalizes it (defaults filled, keys sorted), which is what makes
-  the run-cache key independent of params-dict insertion order;
+  the run-cache key independent of params-dict insertion order.  The
+  ``Param``/``FrozenParams`` machinery lives in :mod:`repro.core.params`
+  and is shared with the workload registry
+  (:mod:`repro.workloads.registry`); this module re-exports it;
 * capability flags — ``uses_stealing`` (the engine attaches the
   :class:`~repro.schedulers.stealing.WorkStealing` mechanism, configured
   from the policy's declared ``steal_cap`` param) and ``uses_partition``
@@ -55,133 +58,21 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.cluster import Cluster, ClusterEngine, EngineConfig
 from repro.core.errors import ConfigurationError
+from repro.core.params import (  # noqa: F401  (re-exported: the public API)
+    PARAM_TYPES,
+    FrozenParams,
+    Param,
+    check_schema,
+    validate_against,
+)
 from repro.schedulers.stealing import WorkStealing
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.schedulers.base import SchedulerPolicy
-
-#: Types a policy parameter may declare.
-PARAM_TYPES = (int, float, bool, str)
-
-
-@dataclass(frozen=True, slots=True)
-class Param:
-    """One declared policy parameter: name, type, default, valid range."""
-
-    name: str
-    type: type
-    default: Any
-    minimum: float | None = None
-    maximum: float | None = None
-    choices: tuple | None = None
-    doc: str = ""
-
-    def __post_init__(self) -> None:
-        if not self.name.isidentifier():
-            raise ConfigurationError(
-                f"param name must be an identifier, got {self.name!r}"
-            )
-        if self.type not in PARAM_TYPES:
-            raise ConfigurationError(
-                f"param {self.name!r} type must be one of "
-                f"{[t.__name__ for t in PARAM_TYPES]}, got {self.type!r}"
-            )
-        # A schema with a bad default is a bug; also canonicalizes an
-        # int default declared for a float param.
-        object.__setattr__(self, "default", self.validate(self.default))
-
-    def validate(self, value):
-        """Check (and int->float coerce) one value; returns the value."""
-        if self.type is float and type(value) is int:
-            value = float(value)
-        # bool subclasses int: an explicit check keeps True out of int params.
-        ok = (
-            type(value) is bool
-            if self.type is bool
-            else isinstance(value, self.type) and not isinstance(value, bool)
-        )
-        if not ok:
-            raise ConfigurationError(
-                f"param {self.name!r} expects {self.type.__name__}, "
-                f"got {value!r} ({type(value).__name__})"
-            )
-        if self.minimum is not None and value < self.minimum:
-            raise ConfigurationError(
-                f"param {self.name!r} must be >= {self.minimum}, got {value!r}"
-            )
-        if self.maximum is not None and value > self.maximum:
-            raise ConfigurationError(
-                f"param {self.name!r} must be <= {self.maximum}, got {value!r}"
-            )
-        if self.choices is not None and value not in self.choices:
-            raise ConfigurationError(
-                f"param {self.name!r} must be one of {self.choices}, "
-                f"got {value!r}"
-            )
-        return value
-
-    def describe(self) -> str:
-        parts = [f"{self.name}: {self.type.__name__} = {self.default!r}"]
-        if self.minimum is not None or self.maximum is not None:
-            lo = "-inf" if self.minimum is None else f"{self.minimum:g}"
-            hi = "+inf" if self.maximum is None else f"{self.maximum:g}"
-            parts.append(f"range [{lo}, {hi}]")
-        if self.choices is not None:
-            parts.append(f"choices {self.choices!r}")
-        return "  ".join(parts)
-
-
-class FrozenParams(Mapping):
-    """Immutable, hashable params mapping with a canonical order.
-
-    Keys are sorted, so two mappings built from differently-ordered dicts
-    are equal, hash alike and — crucially — ``repr()`` alike: the run
-    cache key is derived from the spec repr and must not depend on
-    insertion order.
-    """
-
-    __slots__ = ("_items",)
-
-    def __init__(self, items: Mapping | Iterable[tuple[str, Any]] = ()) -> None:
-        pairs = items.items() if isinstance(items, Mapping) else items
-        canonical = tuple(sorted((str(k), v) for k, v in pairs))
-        names = [k for k, _ in canonical]
-        if len(set(names)) != len(names):
-            raise ConfigurationError(f"duplicate param names in {names}")
-        object.__setattr__(self, "_items", canonical)
-
-    def __getitem__(self, key):
-        for k, v in self._items:
-            if k == key:
-                return v
-        raise KeyError(key)
-
-    def __iter__(self):
-        return (k for k, _ in self._items)
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def __hash__(self) -> int:
-        return hash(self._items)
-
-    def __eq__(self, other) -> bool:
-        if isinstance(other, FrozenParams):
-            return self._items == other._items
-        if isinstance(other, Mapping):
-            return dict(self) == dict(other)
-        return NotImplemented
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
-        return f"FrozenParams({inner})"
-
-    def __reduce__(self):
-        return (FrozenParams, (self._items,))
 
 
 @dataclass(frozen=True, slots=True)
@@ -232,12 +123,8 @@ def register_policy(
     params = tuple(params)
     if name in _REGISTRY:
         raise ConfigurationError(f"policy {name!r} is already registered")
-    names = [p.name for p in params]
-    if len(set(names)) != len(names):
-        raise ConfigurationError(
-            f"policy {name!r} declares duplicate params: {names}"
-        )
-    if uses_stealing and "steal_cap" not in names:
+    check_schema(f"policy {name!r}", params)
+    if uses_stealing and "steal_cap" not in {p.name for p in params}:
         raise ConfigurationError(
             f"policy {name!r} uses stealing but declares no 'steal_cap' param"
         )
@@ -308,17 +195,7 @@ def validate_params(name: str, params: Mapping | None = None) -> FrozenParams:
     are filled with their schema defaults.
     """
     entry = policy_entry(name)
-    given = dict(params) if params else {}
-    declared = set(entry.param_names)
-    unknown = sorted(set(given) - declared)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown param(s) {unknown} for policy {name!r}; "
-            f"declared: {sorted(declared)}"
-        )
-    return FrozenParams(
-        {p.name: p.validate(given.get(p.name, p.default)) for p in entry.params}
-    )
+    return validate_against(f"policy {name!r}", entry.params, params)
 
 
 def build_policy(name: str, params: Mapping | None = None) -> "SchedulerPolicy":

@@ -1,4 +1,10 @@
-"""Workload generators, trace analysis and trace I/O."""
+"""Workload generators, the workload registry, trace analysis and I/O.
+
+Importing this package registers every built-in workload with
+:mod:`repro.workloads.registry` (each generator module self-registers at
+import time), so ``WorkloadSpec(name)`` works for the whole zoo after a
+plain ``import repro.workloads``.
+"""
 
 from repro.workloads.analysis import (
     cdf_points,
@@ -18,12 +24,23 @@ from repro.workloads.kmeans import (
     kmeans_trace,
 )
 from repro.workloads.motivation import MotivationConfig, motivation_trace
+from repro.workloads.registry import (
+    WorkloadEntry,
+    WorkloadSpec,
+    quick_spec,
+    register_workload,
+)
 from repro.workloads.replication import (
     TraceFactory,
     replica_seeds,
     replicate_trace,
 )
 from repro.workloads.scaling import scale_trace_for_prototype
+
+# Imported for the registration side effect: the scenario workloads are
+# constructed through WorkloadSpec("pareto-heavy"/"bursty-diurnal"), not
+# by calling their (params, seed) builders directly.
+import repro.workloads.scenarios  # noqa: F401  isort: skip
 from repro.workloads.spec import JobSpec, Trace
 from repro.workloads.trace_io import read_trace, write_trace
 
@@ -37,6 +54,8 @@ __all__ = [
     "MotivationConfig",
     "Trace",
     "TraceFactory",
+    "WorkloadEntry",
+    "WorkloadSpec",
     "YAHOO_2011",
     "cdf_points",
     "google_like_trace",
@@ -45,7 +64,9 @@ __all__ = [
     "mean_duration_ratio",
     "motivation_trace",
     "poisson_arrival_times",
+    "quick_spec",
     "read_trace",
+    "register_workload",
     "replica_seeds",
     "replicate_trace",
     "scale_trace_for_prototype",

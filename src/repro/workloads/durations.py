@@ -1,0 +1,24 @@
+"""Shared per-task duration spreading used by the trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spread_durations(
+    rng: np.random.Generator, n_tasks: int, mean: float, cv: float
+) -> tuple[float, ...]:
+    """Per-task durations: Gaussian spread, rescaled to the exact mean.
+
+    Draws ``N(mean, cv * mean)`` per task, floors at 5% of the mean, and
+    rescales so the job's realized mean is exactly the drawn one — the
+    recipe the Google-like generator calibrates against (its published
+    task-seconds share depends on the exact-mean property), shared by
+    the scenario workloads so the generators cannot silently diverge.
+    """
+    if n_tasks == 1 or cv == 0.0:
+        return (float(mean),) * n_tasks
+    raw = rng.normal(mean, cv * mean, size=n_tasks)
+    raw = np.clip(raw, 0.05 * mean, None)
+    raw *= mean * n_tasks / float(raw.sum())
+    return tuple(float(d) for d in raw)

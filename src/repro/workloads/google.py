@@ -30,8 +30,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import ConfigurationError
+from repro.core.params import Param
 from repro.core.rng import make_rng
 from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.durations import spread_durations
+from repro.workloads.registry import register_workload
 from repro.workloads.spec import JobSpec, Trace
 
 #: Default long/short cutoff for the Google workload (Figure 12's default).
@@ -77,19 +80,6 @@ class GoogleTraceConfig:
             raise ConfigurationError("long_fraction must be in (0, 1)")
         if not 0.0 < self.target_task_seconds_share < 1.0:
             raise ConfigurationError("target share must be in (0, 1)")
-
-
-def _task_durations(
-    rng: np.random.Generator, n_tasks: int, mean: float, cv: float
-) -> tuple[float, ...]:
-    """Per-task durations: Gaussian spread, rescaled to the exact mean."""
-    if n_tasks == 1 or cv == 0.0:
-        return (float(mean),) * n_tasks
-    raw = rng.normal(mean, cv * mean, size=n_tasks)
-    floor = 0.05 * mean
-    raw = np.clip(raw, floor, None)
-    raw *= mean * n_tasks / float(raw.sum())
-    return tuple(float(d) for d in raw)
 
 
 def google_like_trace(
@@ -195,6 +185,50 @@ def google_like_trace(
     jobs: list[JobSpec] = []
     for job_id, submit in enumerate(arrivals):
         tasks, mean = params[order[job_id]]
-        durations = _task_durations(rng, tasks, mean, cfg.within_job_cv)
+        durations = spread_durations(rng, tasks, mean, cfg.within_job_cv)
         jobs.append(JobSpec(job_id, submit, durations))
     return Trace(jobs, name="google-like")
+
+
+# -- registry entries ----------------------------------------------------
+_GOOGLE_PARAMS = (
+    Param("n_jobs", int, default=1200, minimum=10,
+          doc="jobs in the generated trace"),
+    Param("mean_interarrival", float, default=20.0, minimum=0.001,
+          doc="mean Poisson job inter-arrival gap (s)"),
+)
+
+
+@register_workload(
+    "google",
+    params=_GOOGLE_PARAMS,
+    cutoff=GOOGLE_CUTOFF_S,
+    short_partition_fraction=GOOGLE_SHORT_PARTITION_FRACTION,
+    quick_params={"n_jobs": 260},
+)
+def _google_workload(params, seed: int) -> Trace:
+    """Synthetic Google-2011-like trace calibrated to the paper's statistics."""
+    config = GoogleTraceConfig(
+        n_jobs=params["n_jobs"], mean_interarrival=params["mean_interarrival"]
+    )
+    return google_like_trace(config, seed=seed)
+
+
+@register_workload(
+    "google-scale10k",
+    params=(
+        Param("n_jobs", int, default=3000, minimum=10,
+              doc="jobs in the densified trace"),
+        Param("mean_interarrival", float, default=3.2, minimum=0.001,
+              doc="densified arrival gap: ~10k nodes at high load"),
+    ),
+    cutoff=GOOGLE_CUTOFF_S,
+    short_partition_fraction=GOOGLE_SHORT_PARTITION_FRACTION,
+    quick_params={"n_jobs": 300, "mean_interarrival": 16.0},
+)
+def _google_scale_workload(params, seed: int) -> Trace:
+    """Densified Google-like trace for the 10k-worker scale point."""
+    config = GoogleTraceConfig(
+        n_jobs=params["n_jobs"], mean_interarrival=params["mean_interarrival"]
+    )
+    return google_like_trace(config, seed=seed)

@@ -21,8 +21,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import ConfigurationError
+from repro.core.params import Param
 from repro.core.rng import make_rng
 from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.registry import register_workload
 from repro.workloads.spec import JobSpec, Trace
 
 
@@ -161,3 +163,37 @@ def kmeans_trace(
         durations = _positive_gaussian_durations(rng, n_tasks, mean_duration)
         jobs.append(JobSpec(job_id, submit, durations))
     return Trace(jobs, name=spec.name)
+
+
+# -- registry entries ----------------------------------------------------
+def _register_kmeans(spec: KMeansWorkloadSpec) -> None:
+    """One registry entry per k-means-described workload."""
+
+    @register_workload(
+        spec.name,
+        params=(
+            Param("n_jobs", int, default=900, minimum=1,
+                  doc="jobs in the generated trace"),
+            Param("mean_interarrival", float, default=20.0, minimum=0.001,
+                  doc="mean Poisson job inter-arrival gap (s)"),
+            Param("max_tasks_per_job", int, default=8000, minimum=1,
+                  doc="clamp on the exponential task-count draw"),
+        ),
+        cutoff=spec.cutoff,
+        short_partition_fraction=spec.short_partition_fraction,
+        quick_params={"n_jobs": 240},
+        doc=f"{spec.name} workload from its k-means cluster description",
+    )
+    def _build(params, seed: int, _spec=spec) -> Trace:
+        return kmeans_trace(
+            _spec,
+            n_jobs=params["n_jobs"],
+            mean_interarrival=params["mean_interarrival"],
+            seed=seed,
+            max_tasks_per_job=params["max_tasks_per_job"],
+        )
+
+
+for _spec in ALL_KMEANS_WORKLOADS:
+    _register_kmeans(_spec)
+del _spec

@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import ConfigurationError
+from repro.core.params import Param
 from repro.core.rng import make_rng
 from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.registry import register_workload
 from repro.workloads.spec import JobSpec, Trace
 
 
@@ -72,3 +74,18 @@ def motivation_trace(config: MotivationConfig | None = None, seed: int = 0) -> T
             durations = (cfg.short_duration,) * cfg.short_tasks
         jobs.append(JobSpec(job_id, submit, durations))
     return Trace(jobs, name="motivation")
+
+
+@register_workload(
+    "motivation",
+    params=(
+        Param("scale", float, default=1.0, minimum=0.001, maximum=1.0,
+              doc="shrink factor: jobs and recommended servers together"),
+    ),
+    cutoff=MotivationConfig().cutoff,
+    short_partition_fraction=0.17,
+    quick_params={"scale": 0.02},
+)
+def _motivation_workload(params, seed: int) -> Trace:
+    """The Section 2.3 motivation scenario (95% short / 5% long jobs)."""
+    return motivation_trace(MotivationConfig().scaled(params["scale"]), seed=seed)

@@ -16,6 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import ConfigurationError
+from repro.core.params import Param
+from repro.workloads.google import (
+    GOOGLE_CUTOFF_S,
+    GoogleTraceConfig,
+    google_like_trace,
+)
+from repro.workloads.registry import register_workload
 from repro.workloads.spec import JobSpec, Trace
 
 
@@ -114,3 +121,32 @@ def with_interarrival(trace: Trace, mean_interarrival: float, seed: int = 0) -> 
         for job, t in zip(trace, times)
     ]
     return Trace(jobs, name=trace.name)
+
+
+#: The paper's fixed seconds-to-milliseconds prototype scaling.  Fixed
+#: (not a param) so the entry's scaled cutoff metadata stays truthful.
+_PROTOTYPE_TIME_SCALE = 0.001
+
+
+@register_workload(
+    "google-prototype",
+    params=(
+        Param("n_jobs", int, default=3300, minimum=10,
+              doc="jobs sampled from the Google-like generator"),
+        Param("cluster_size", int, default=100, minimum=1,
+              doc="target cluster the task counts are rescaled for"),
+    ),
+    cutoff=GOOGLE_CUTOFF_S * _PROTOTYPE_TIME_SCALE,
+    short_partition_fraction=0.17,
+    quick_params={"n_jobs": 80},
+)
+def _google_prototype_workload(params, seed: int) -> Trace:
+    """Google-like sample scaled for prototype runs (Section 4.1 recipe)."""
+    base = google_like_trace(GoogleTraceConfig(n_jobs=params["n_jobs"]), seed=seed)
+    scaled = scale_trace_for_prototype(
+        base,
+        cluster_size=params["cluster_size"],
+        cutoff=GOOGLE_CUTOFF_S,
+        time_scale=_PROTOTYPE_TIME_SCALE,
+    )
+    return scaled.trace
