@@ -1,0 +1,183 @@
+"""The reprolint scan engine: files -> findings -> baseline verdict.
+
+:func:`analyze_source` checks one source string (the unit the fixture
+tests drive); :func:`analyze_paths` walks directories, applies the path
+scopes, runs the semantic registry rules, and returns an
+:class:`AnalysisResult`.  :class:`Baseline` holds the committed list of
+accepted findings — identity is the line-number-free
+:meth:`~repro.analysis.findings.Finding.key`, so baselines survive
+unrelated edits — and :func:`diff_baseline` classifies a scan into new
+findings (violations) and stale entries (fixed code whose baseline entry
+must be removed).  Both directions are failures: the baseline is a
+ratchet, not a landfill.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import scope_for
+from repro.analysis.findings import (
+    Finding,
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.analysis.rules import RULES_BY_ID, SYNTACTIC_RULES, Rule
+from repro.analysis.semantic import SEMANTIC_RULES, SemanticRule
+
+
+def repo_root() -> Path:
+    """The checkout root for a src/ layout (three levels above here)."""
+    return Path(__file__).resolve().parents[3]
+
+
+#: Default committed baseline location.
+DEFAULT_BASELINE = "benchmarks/results/reprolint_baseline.txt"
+#: Default committed drift-checked report location.
+DEFAULT_REPORT = "benchmarks/results/reprolint_report.txt"
+
+
+def _sort_key(finding: Finding) -> tuple:
+    return (finding.path, finding.line, finding.col, finding.rule, finding.message)
+
+
+@dataclass(slots=True)
+class AnalysisResult:
+    """Everything one scan produced, before the baseline verdict."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    files_scanned: int = 0
+    #: (path, rule ids) actually applied per file, for the report.
+    scopes_seen: dict[str, str] = field(default_factory=dict)
+
+
+def rules_for(rule_ids: Iterable[str]) -> list[Rule]:
+    unknown = sorted(set(rule_ids) - set(RULES_BY_ID))
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {unknown}")
+    return [RULES_BY_ID[rid] for rid in rule_ids]
+
+
+def analyze_source(
+    source: str, path: str, rule_ids: Sequence[str] | None = None
+) -> list[Finding]:
+    """Scan one source string with the given rules (or its scope's).
+
+    Suppression pragmas are honored; SUP001/SUP002 meta-findings are
+    included in the return.  ``path`` is the repo-relative posix path
+    used for scope lookup and reporting.
+    """
+    if rule_ids is None:
+        rule_ids = scope_for(path).rules
+    tree = ast.parse(source, filename=path)
+    findings: list[Finding] = []
+    for rule in rules_for(rule_ids):
+        findings.extend(rule.check(tree, source, path))
+    suppressions = parse_suppressions(source, path)
+    surviving = apply_suppressions(findings, suppressions)
+    return sorted(surviving, key=_sort_key)
+
+
+def _python_files(paths: Sequence[Path], root: Path) -> list[Path]:
+    files: set[Path] = set()
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def analyze_paths(
+    paths: Sequence[Path | str] | None = None,
+    root: Path | None = None,
+    semantic: bool = True,
+) -> AnalysisResult:
+    """Scan a file tree plus (optionally) the live registries."""
+    root = root or repo_root()
+    targets = [Path(p) for p in (paths or ["src/repro"])]
+    result = AnalysisResult()
+    for file in _python_files(targets, root):
+        try:
+            rel = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        scope = scope_for(rel)
+        source = file.read_text(encoding="utf-8")
+        suppressions = parse_suppressions(source, rel)
+        tree = ast.parse(source, filename=rel)
+        findings: list[Finding] = []
+        for rule in rules_for(scope.rules):
+            findings.extend(rule.check(tree, source, rel))
+        result.findings.extend(apply_suppressions(findings, suppressions))
+        result.suppressions.extend(s for s in suppressions if s.reason)
+        result.files_scanned += 1
+        result.scopes_seen[rel] = scope.name
+    if semantic:
+        for rule in SEMANTIC_RULES:
+            result.findings.extend(rule.run(root))
+    result.findings.sort(key=_sort_key)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class Baseline:
+    """The committed set of accepted finding keys.
+
+    File format: one ``rule<TAB>path<TAB>message`` per line, sorted;
+    ``#`` comment lines and blanks ignored.  An empty baseline is the
+    goal state — it asserts the scanned tree is violation-free.
+    """
+
+    def __init__(self, keys: Iterable[str] = ()) -> None:
+        self.keys = set(keys)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(f.key() for f in findings)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        keys = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            rule, rel, message = line.split("\t", 2)
+            keys.append(f"{rule}|{rel}|{message}")
+        return cls(keys)
+
+    def dump(self, path: Path, header: str = "") -> None:
+        lines = []
+        if header:
+            lines.extend(f"# {h}" for h in header.splitlines())
+        for key in sorted(self.keys):
+            rule, rel, message = key.split("|", 2)
+            lines.append(f"{rule}\t{rel}\t{message}")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def diff_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[str]]:
+    """(new findings, stale baseline keys) for one scan.
+
+    New findings are violations; stale keys are baseline entries whose
+    code was fixed — both fail the gate, because a stale entry would let
+    the same violation quietly return later.
+    """
+    new = [f for f in findings if f.key() not in baseline.keys]
+    found_keys = {f.key() for f in findings}
+    stale = sorted(k for k in baseline.keys if k not in found_keys)
+    return new, stale

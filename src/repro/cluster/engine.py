@@ -41,7 +41,7 @@ from repro.cluster.records import (
     UtilizationSample,
 )
 from repro.cluster.task import Task
-from repro.cluster.worker import ProbeEntry, TaskEntry, Worker, WorkerState
+from repro.cluster.worker import ProbeEntry, QueueEntry, TaskEntry, Worker, WorkerState
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.network import DEFAULT_NETWORK_DELAY_S, NetworkModel
 from repro.core.simulation import Simulation
@@ -202,7 +202,9 @@ class ClusterEngine:
         else:
             cluster.steal_hint_count -= 1
 
-    def _deliver_batch(self, worker_ids: Sequence[int], entries: list) -> None:
+    def _deliver_batch(
+        self, worker_ids: Sequence[int], entries: list[QueueEntry]
+    ) -> None:
         """Deliver a same-timestamp message group in scheduling order."""
         self.sim.add_logical_events(len(entries) - 1)
         workers = self.cluster.workers
@@ -216,7 +218,7 @@ class ClusterEngine:
             else:
                 sync(worker)
 
-    def _deliver_entry(self, worker_id: int, entry) -> None:
+    def _deliver_entry(self, worker_id: int, entry: QueueEntry) -> None:
         worker = self.cluster.workers[worker_id]
         worker.enqueue(entry)
         if worker.state is _IDLE:
@@ -293,7 +295,7 @@ class ClusterEngine:
                 task.job.stolen_tasks += 1
             self._start_task(worker, task, entry)
 
-    def _start_task(self, worker: Worker, task: Task, entry) -> None:
+    def _start_task(self, worker: Worker, task: Task, entry: QueueEntry) -> None:
         worker.state = _BUSY
         worker.current_entry = entry
         worker.current_task = task

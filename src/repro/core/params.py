@@ -15,7 +15,7 @@ add their entry types and lookup tables on top.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -51,7 +51,7 @@ class Param:
         # int default declared for a float param.
         object.__setattr__(self, "default", self.validate(self.default))
 
-    def validate(self, value):
+    def validate(self, value: Any) -> Any:
         """Check (and int->float coerce) one value; returns the value."""
         if self.type is float and type(value) is int:
             value = float(value)
@@ -111,13 +111,13 @@ class FrozenParams(Mapping):
             raise ConfigurationError(f"duplicate param names in {names}")
         object.__setattr__(self, "_items", canonical)
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: str) -> Any:
         for k, v in self._items:
             if k == key:
                 return v
         raise KeyError(key)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return (k for k, _ in self._items)
 
     def __len__(self) -> int:
@@ -126,7 +126,7 @@ class FrozenParams(Mapping):
     def __hash__(self) -> int:
         return hash(self._items)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, FrozenParams):
             return self._items == other._items
         if isinstance(other, Mapping):
@@ -137,7 +137,7 @@ class FrozenParams(Mapping):
         inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
         return f"FrozenParams({inner})"
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[tuple[tuple[str, Any], ...]]]:
         return (FrozenParams, (self._items,))
 
 

@@ -31,9 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: without re-declaring its params.  ``steal_cap`` is inert on
 #: ``hawk-no-stealing`` (no stealing mechanism is attached).
 HAWK_PARAMS = (
-    Param("probe_ratio", int, default=2, minimum=1,
+    Param("probe_ratio", int, default=2, minimum=1, maximum=64,
           doc="probes per task for the short-job component"),
-    Param("steal_cap", int, default=10, minimum=1,
+    Param("steal_cap", int, default=10, minimum=1, maximum=1000,
           doc="random victims contacted per stealing round (Figure 15)"),
 )
 

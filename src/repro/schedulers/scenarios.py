@@ -37,9 +37,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 @register_policy(
     "sparrow-batch",
     params=(
-        Param("probe_ratio", int, default=2, minimum=1,
+        Param("probe_ratio", int, default=2, minimum=1, maximum=64,
               doc="probes per task before the budget cap applies"),
-        Param("batch_size", int, default=16, minimum=1,
+        Param("batch_size", int, default=16, minimum=1, maximum=4096,
               doc="per-job probe budget (floored at the job's task count)"),
     ),
 )

@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 @register_policy(
     "sparrow",
     params=(
-        Param("probe_ratio", int, default=2, minimum=1,
+        Param("probe_ratio", int, default=2, minimum=1, maximum=64,
               doc="probes per task (2 throughout the paper)"),
     ),
 )

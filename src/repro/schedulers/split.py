@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 @register_policy(
     "split",
     params=(
-        Param("probe_ratio", int, default=2, minimum=1,
+        Param("probe_ratio", int, default=2, minimum=1, maximum=64,
               doc="probes per task for the short-partition component"),
     ),
     uses_partition=True,

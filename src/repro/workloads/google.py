@@ -192,9 +192,10 @@ def google_like_trace(
 
 # -- registry entries ----------------------------------------------------
 _GOOGLE_PARAMS = (
-    Param("n_jobs", int, default=1200, minimum=10,
+    Param("n_jobs", int, default=1200, minimum=10, maximum=1_000_000,
           doc="jobs in the generated trace"),
     Param("mean_interarrival", float, default=20.0, minimum=0.001,
+          maximum=1e6,
           doc="mean Poisson job inter-arrival gap (s)"),
 )
 
@@ -217,9 +218,10 @@ def _google_workload(params, seed: int) -> Trace:
 @register_workload(
     "google-scale10k",
     params=(
-        Param("n_jobs", int, default=3000, minimum=10,
+        Param("n_jobs", int, default=3000, minimum=10, maximum=1_000_000,
               doc="jobs in the densified trace"),
         Param("mean_interarrival", float, default=3.2, minimum=0.001,
+              maximum=1e6,
               doc="densified arrival gap: ~10k nodes at high load"),
     ),
     cutoff=GOOGLE_CUTOFF_S,

@@ -172,11 +172,13 @@ def _register_kmeans(spec: KMeansWorkloadSpec) -> None:
     @register_workload(
         spec.name,
         params=(
-            Param("n_jobs", int, default=900, minimum=1,
+            Param("n_jobs", int, default=900, minimum=1, maximum=1_000_000,
                   doc="jobs in the generated trace"),
             Param("mean_interarrival", float, default=20.0, minimum=0.001,
+                  maximum=1e6,
                   doc="mean Poisson job inter-arrival gap (s)"),
             Param("max_tasks_per_job", int, default=8000, minimum=1,
+                  maximum=1_000_000,
                   doc="clamp on the exponential task-count draw"),
         ),
         cutoff=spec.cutoff,

@@ -131,9 +131,9 @@ _PROTOTYPE_TIME_SCALE = 0.001
 @register_workload(
     "google-prototype",
     params=(
-        Param("n_jobs", int, default=3300, minimum=10,
+        Param("n_jobs", int, default=3300, minimum=10, maximum=1_000_000,
               doc="jobs sampled from the Google-like generator"),
-        Param("cluster_size", int, default=100, minimum=1,
+        Param("cluster_size", int, default=100, minimum=1, maximum=100_000,
               doc="target cluster the task counts are rescaled for"),
     ),
     cutoff=GOOGLE_CUTOFF_S * _PROTOTYPE_TIME_SCALE,

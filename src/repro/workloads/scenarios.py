@@ -42,17 +42,19 @@ BURSTY_CUTOFF_S = 500.0
 @register_workload(
     "pareto-heavy",
     params=(
-        Param("n_jobs", int, default=900, minimum=10,
+        Param("n_jobs", int, default=900, minimum=10, maximum=1_000_000,
               doc="jobs in the generated trace"),
         Param("mean_interarrival", float, default=20.0, minimum=0.001,
+              maximum=1e6,
               doc="mean Poisson job inter-arrival gap (s)"),
         Param("alpha", float, default=1.3, minimum=1.01, maximum=10.0,
               doc="Pareto tail index of job mean durations (lower = heavier)"),
         Param("duration_floor", float, default=40.0, minimum=0.001,
+              maximum=1e6,
               doc="Pareto scale x_m: the smallest job mean duration (s)"),
-        Param("duration_max", float, default=50000.0, minimum=1.0,
+        Param("duration_max", float, default=50000.0, minimum=1.0, maximum=1e7,
               doc="clamp on the heavy tail (keeps simulations bounded)"),
-        Param("tasks_centroid", float, default=30.0, minimum=1.0,
+        Param("tasks_centroid", float, default=30.0, minimum=1.0, maximum=1e5,
               doc="exponential mean of per-job task counts"),
     ),
     cutoff=PARETO_CUTOFF_S,
@@ -117,13 +119,14 @@ def _thinned_sinusoidal_arrivals(
 @register_workload(
     "bursty-diurnal",
     params=(
-        Param("n_jobs", int, default=900, minimum=10,
+        Param("n_jobs", int, default=900, minimum=10, maximum=1_000_000,
               doc="jobs in the generated trace"),
         Param("mean_interarrival", float, default=20.0, minimum=0.001,
+              maximum=1e6,
               doc="mean gap of the *average* arrival rate (s)"),
         Param("amplitude", float, default=0.8, minimum=0.0, maximum=0.99,
               doc="peak-to-mean rate swing: rate in base*(1±A)"),
-        Param("period", float, default=4000.0, minimum=1.0,
+        Param("period", float, default=4000.0, minimum=1.0, maximum=1e7,
               doc="length of one load cycle (s)"),
         Param("long_fraction", float, default=0.1, minimum=0.0, maximum=0.9,
               doc="fraction of jobs in the long class"),

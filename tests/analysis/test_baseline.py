@@ -1,0 +1,89 @@
+"""Baseline round-trip, drift classification, and the repo self-check.
+
+``test_repo_is_clean_against_committed_baseline`` is the tier-1 reprolint
+gate: it runs the full analyzer (syntactic + semantic rules) over
+``src/repro`` and fails on any new finding *or* any stale baseline
+entry, mirroring the CI job.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    DEFAULT_BASELINE,
+    DEFAULT_REPORT,
+    Baseline,
+    Finding,
+    analyze_paths,
+    diff_baseline,
+    render_report,
+    repo_root,
+)
+
+
+def make_finding(rule="DET001", path="src/repro/core/x.py", message="m"):
+    return Finding(rule=rule, path=path, line=3, col=0, message=message)
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = [
+        make_finding("DET001", message="call to time.time()"),
+        make_finding("DET003", path="src/repro/cluster/y.py",
+                     message="iteration over set literal"),
+    ]
+    baseline = Baseline.from_findings(findings)
+    target = tmp_path / "baseline.txt"
+    baseline.dump(target, header="test header\nsecond line")
+    loaded = Baseline.load(target)
+    assert loaded.keys == baseline.keys
+    new, stale = diff_baseline(findings, loaded)
+    assert new == [] and stale == []
+
+
+def test_baseline_identity_ignores_line_numbers(tmp_path):
+    baseline = Baseline.from_findings([make_finding()])
+    moved = Finding(rule="DET001", path="src/repro/core/x.py",
+                    line=99, col=4, message="m")
+    new, stale = diff_baseline([moved], baseline)
+    assert new == [] and stale == []
+
+
+def test_new_finding_is_reported():
+    new, stale = diff_baseline([make_finding()], Baseline())
+    assert len(new) == 1 and stale == []
+
+
+def test_stale_entry_is_reported():
+    baseline = Baseline.from_findings([make_finding()])
+    new, stale = diff_baseline([], baseline)
+    assert new == [] and stale == [make_finding().key()]
+
+
+def test_empty_baseline_file_loads_as_empty(tmp_path):
+    target = tmp_path / "baseline.txt"
+    target.write_text("# only comments\n\n")
+    assert len(Baseline.load(target)) == 0
+
+
+def test_repo_is_clean_against_committed_baseline():
+    """Tier-1 gate: src/repro must have zero unbaselined findings."""
+    root = repo_root()
+    result = analyze_paths(root=root)
+    baseline = Baseline.load(root / DEFAULT_BASELINE)
+    new, stale = diff_baseline(result.findings, baseline)
+    rendered = "\n".join(f.render() for f in new)
+    assert new == [], f"unbaselined reprolint findings:\n{rendered}"
+    assert stale == [], f"stale baseline entries (fixed code): {stale}"
+    # the committed baseline is the zero-entry goal state
+    assert len(baseline) == 0
+
+
+def test_committed_report_matches_regeneration():
+    """The report is a drift-checked snapshot, like the registry schemas.
+
+    Regenerate deliberately with
+    ``python -m repro.analysis --report benchmarks/results/reprolint_report.txt``.
+    """
+    root = repo_root()
+    result = analyze_paths(root=root)
+    committed = (root / DEFAULT_REPORT).read_text(encoding="utf-8")
+    assert committed == render_report(result)

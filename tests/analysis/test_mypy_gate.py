@@ -1,0 +1,37 @@
+"""mypy gate on the deterministic core, as a pytest wrapper.
+
+The container used for quick local loops may not ship mypy; CI installs
+it and this test then enforces the committed ``mypy.ini`` on
+``repro.core`` + ``repro.cluster``.  Locally it skips cleanly when mypy
+is absent rather than failing on a missing tool.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_core_and_cluster_pass_mypy():
+    pytest.importorskip("mypy", reason="mypy not installed; CI runs this gate")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            str(REPO_ROOT / "mypy.ini"),
+            "src/repro/core",
+            "src/repro/cluster",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"mypy failed:\n{proc.stdout}{proc.stderr}"

@@ -1,0 +1,212 @@
+"""Per-rule fixture corpus: each known-bad snippet must trip its rule.
+
+Every syntactic rule gets at least one failing fixture and at least one
+near-miss that must stay clean — the near-misses pin down the rule's
+precision (dict iteration is ordered, ``id()`` as a dict key is fine,
+``__post_init__`` may mutate a frozen instance, ...).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_source
+
+PATH = "src/repro/core/example.py"
+
+
+def rules_hit(source: str, rule_ids=None) -> set[str]:
+    return {f.rule for f in analyze_source(source, PATH, rule_ids=rule_ids)}
+
+
+# -- DET001: wall-clock reads -------------------------------------------------
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import time\nstart = time.time()\n",
+        "import time\nstart = time.perf_counter()\n",
+        "import time as t\nstart = t.monotonic()\n",
+        "from time import perf_counter\nstart = perf_counter()\n",
+        "import datetime\nnow = datetime.datetime.now()\n",
+        "from datetime import datetime\nnow = datetime.utcnow()\n",
+        "import time\nns = time.perf_counter_ns()\n",
+    ],
+)
+def test_det001_flags_wall_clock(snippet):
+    assert "DET001" in rules_hit(snippet)
+
+
+def test_det001_spares_simulated_clock():
+    clean = "class Engine:\n    def now(self):\n        return self._sim_time\n"
+    assert "DET001" not in rules_hit(clean)
+
+
+# -- DET002: global / unseeded RNG --------------------------------------------
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import random\nx = random.random()\n",
+        "import random\nrandom.shuffle(items)\n",
+        "import random\nrng = random.Random()\n",
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "from random import randint\nx = randint(0, 5)\n",
+    ],
+)
+def test_det002_flags_global_rng(snippet):
+    assert "DET002" in rules_hit(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import random\nrng = random.Random(seed)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed)\n",
+        "x = rng.random()\n",
+    ],
+)
+def test_det002_spares_seeded_rng(snippet):
+    assert "DET002" not in rules_hit(snippet)
+
+
+# -- DET003: unordered iteration ----------------------------------------------
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "for w in {1, 2, 3}:\n    process(w)\n",
+        "for w in set(workers):\n    process(w)\n",
+        "for w in set(a) | b:\n    process(w)\n",
+        "out = [f(w) for w in frozenset(workers)]\n",
+        # dict views only trip when the body feeds an order-sensitive sink
+        "for w in workers.keys():\n    heapq.heappush(heap, w)\n",
+        "for w in pending.values():\n    engine.schedule(0.0, w)\n",
+        "for w in pending.items():\n    total += cost(w)\n",
+    ],
+)
+def test_det003_flags_unordered_iteration(snippet):
+    assert "DET003" in rules_hit(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        # plain dict iteration is insertion-ordered (3.7+): clean
+        "for w in workers:\n    process(w)\n",
+        "for k, v in workers.items():\n    result[k] = v\n",
+        "for w in sorted(set(workers)):\n    process(w)\n",
+        "out = [f(w) for w in sorted(frozenset(workers))]\n",
+    ],
+)
+def test_det003_spares_ordered_iteration(snippet):
+    assert "DET003" not in rules_hit(snippet)
+
+
+# -- DET004: id()/hash() in ordering or digests -------------------------------
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "order = sorted(tasks, key=hash)\n",
+        "order = sorted(tasks, key=lambda t: hash(t))\n",
+        "heapq.heappush(heap, (id(task), task))\n",
+        "digest.update(str(hash(spec)).encode())\n",
+        "if hash(a) < hash(b):\n    swap(a, b)\n",
+    ],
+)
+def test_det004_flags_hash_ordering(snippet):
+    assert "DET004" in rules_hit(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "estimates[id(task)] = task.duration\n",  # identity lookup: fine
+        "x = estimates[id(task)]\n",
+        "def __hash__(self):\n    return hash(self._items)\n",
+    ],
+)
+def test_det004_spares_identity_lookup(snippet):
+    assert "DET004" not in rules_hit(snippet)
+
+
+# -- DET005: accumulation over unordered collections --------------------------
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "total = sum({f(w) for w in workers})\n",
+        "total = sum(durations.values())\n",
+        "total = sum(f(w) for w in set(workers))\n",
+        "total = math.fsum(x.values())\n",
+    ],
+)
+def test_det005_flags_unordered_accumulation(snippet):
+    assert "DET005" in rules_hit(snippet, rule_ids=("DET005",))
+
+
+def test_det005_spares_sorted_accumulation():
+    clean = "total = sum(sorted(durations.values()))\n"
+    assert "DET005" not in rules_hit(clean, rule_ids=("DET005",))
+
+
+# -- PURE001: frozen-instance mutation outside constructors -------------------
+FROZEN_MUTATION = """
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class Spec:
+    n: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "n", max(self.n, 0))  # fine: constructor
+
+    def bump(self):
+        object.__setattr__(self, "n", self.n + 1)  # violation
+"""
+
+
+def test_pure001_flags_mutation_outside_constructor():
+    findings = analyze_source(FROZEN_MUTATION, PATH)
+    pure = [f for f in findings if f.rule == "PURE001"]
+    assert len(pure) == 1
+    assert "bump" in pure[0].message
+
+
+def test_pure001_flags_self_assignment_in_frozen_class():
+    source = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class Spec:\n"
+        "    n: int\n"
+        "    def grow(self):\n"
+        "        self.n = self.n + 1\n"
+    )
+    assert "PURE001" in rules_hit(source)
+
+
+def test_pure001_spares_ordinary_classes():
+    source = (
+        "class Counter:\n"
+        "    def bump(self):\n"
+        "        self.n += 1\n"
+    )
+    assert "PURE001" not in rules_hit(source)
+
+
+# -- scoping: tool paths run the reduced ruleset ------------------------------
+def test_tool_scope_skips_wall_clock_rule():
+    snippet = "import time\nstart = time.perf_counter()\n"
+    tool_findings = analyze_source(snippet, "src/repro/bench/timer.py")
+    assert "DET001" not in {f.rule for f in tool_findings}
+    # but the global-RNG rule still applies everywhere
+    rng = "import random\nx = random.random()\n"
+    assert "DET002" in {
+        f.rule for f in analyze_source(rng, "src/repro/bench/timer.py")
+    }
+
+
+def test_every_syntactic_rule_has_an_explain():
+    from repro.analysis.rules import SYNTACTIC_RULES
+
+    for rule in SYNTACTIC_RULES:
+        assert rule.rule_id
+        assert rule.title
+        assert len(rule.explain.strip()) > 40

@@ -1,0 +1,143 @@
+"""REG001/REG002 failing fixtures: temporarily register known-bad entries.
+
+The semantic rules interrogate the *live* registries, so the fixture
+corpus here registers deliberately broken policies, asserts the rule
+catches them, and unregisters on the way out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.semantic import (
+    _param_schema_holes,
+    _perturbed,
+    check_cache_key_completeness,
+    check_registry_schemas,
+)
+from repro.analysis import repo_root
+from repro.core.params import Param
+from repro.schedulers import registry as policies
+from repro.schedulers.registry import register_policy
+from repro.schedulers.sparrow import SparrowScheduler
+
+
+@pytest.fixture
+def temp_policy():
+    """Register a policy for one test; always unregister after."""
+    names = []
+
+    def _register(name, **kwargs):
+        names.append(name)
+
+        @register_policy(name, **kwargs)
+        def _builder(params):
+            return SparrowScheduler()
+
+        return _builder
+
+    yield _register
+    for name in names:
+        policies.unregister(name)
+
+
+def reg001_messages(root=None):
+    return [f.message for f in check_registry_schemas(root or repo_root())]
+
+
+def test_reg001_flags_undocumented_param():
+    holes = list(_param_schema_holes(
+        "policy 'x'", Param("k", int, default=1, minimum=1, maximum=9)
+    ))
+    assert holes and "no doc" in holes[0]
+
+
+def test_reg001_flags_unbounded_numeric_param():
+    holes = list(_param_schema_holes(
+        "policy 'x'", Param("k", int, default=1, minimum=1, doc="d")
+    ))
+    assert holes == [
+        "policy 'x' param 'k' (int) is unbounded; declare minimum and "
+        "maximum (or choices)"
+    ]
+
+
+def test_reg001_accepts_choices_as_bounds():
+    param = Param("k", int, default=1, choices=(1, 2, 4), doc="d")
+    assert list(_param_schema_holes("policy 'x'", param)) == []
+
+
+def test_reg001_flags_open_string_param():
+    holes = list(_param_schema_holes(
+        "policy 'x'", Param("mode", str, default="a", doc="d")
+    ))
+    assert holes and "no choices" in holes[0]
+
+
+def test_reg001_flags_registered_bad_entry(temp_policy):
+    temp_policy(
+        "reg001-fixture",
+        params=(Param("depth", int, default=3, minimum=1, doc="d"),),
+        doc="fixture policy with an unbounded param",
+    )
+    messages = reg001_messages()
+    assert any(
+        "policy 'reg001-fixture' param 'depth'" in m and "unbounded" in m
+        for m in messages
+    )
+
+
+def test_reg001_flags_dangling_ablation(temp_policy):
+    temp_policy(
+        "reg001-dangling",
+        ablation_of="no-such-policy",
+        doc="fixture with a dangling ablation_of",
+    )
+    messages = reg001_messages()
+    assert any(
+        "ablation_of='no-such-policy'" in m and "not a registered policy" in m
+        for m in messages
+    )
+
+
+def test_reg001_clean_on_the_real_registries():
+    assert reg001_messages() == []
+
+
+# -- REG002 -------------------------------------------------------------------
+def test_reg002_clean_on_the_real_registries():
+    assert [f.message for f in check_cache_key_completeness(repo_root())] == []
+
+
+def test_reg002_findings_point_at_cache_modules(temp_policy):
+    # a policy whose param is real must still move the digest; RunSpec's
+    # digest includes the whole params mapping, so this passes — the
+    # failing direction is covered by the perturbation helper below and
+    # the RunSpec exemption contract test.
+    temp_policy(
+        "reg002-fixture",
+        params=(
+            Param("depth", int, default=3, minimum=1, maximum=9, doc="d"),
+        ),
+        doc="fixture policy for digest coverage",
+    )
+    assert [f.message for f in check_cache_key_completeness(repo_root())] == []
+
+
+def test_reg002_detects_unexempted_field(monkeypatch):
+    # simulate RunSpec growing a non-compared field with no documented
+    # stand-in: shrink the exemption table and watch the rule fire
+    from repro.analysis import semantic
+
+    monkeypatch.setattr(semantic, "RUNSPEC_DIGEST_EXEMPTIONS", {})
+    messages = [f.message for f in check_cache_key_completeness(repo_root())]
+    assert any(
+        "RunSpec.estimate is excluded from comparison" in m for m in messages
+    )
+
+
+def test_perturbed_respects_bounds_and_choices():
+    assert _perturbed(Param("k", int, default=1, minimum=1, maximum=9, doc="d")) != 1
+    assert _perturbed(Param("m", str, default="a", choices=("a", "b"), doc="d")) == "b"
+    # a fully pinned param has no legal second value
+    assert _perturbed(Param("p", int, default=1, choices=(1,), doc="d")) is None

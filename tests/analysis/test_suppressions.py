@@ -1,0 +1,66 @@
+"""Suppression pragma semantics: reasons are mandatory, stale pragmas fail."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+from repro.analysis.findings import parse_suppressions
+
+PATH = "src/repro/core/example.py"
+
+
+def test_reasoned_suppression_silences_the_finding():
+    source = (
+        "import time\n"
+        "start = time.time()  # reprolint: disable=DET001 -- profiling hook\n"
+    )
+    assert analyze_source(source, PATH) == []
+
+
+def test_comment_only_pragma_applies_to_next_line():
+    source = (
+        "import time\n"
+        "# reprolint: disable=DET001 -- profiling hook\n"
+        "start = time.time()\n"
+    )
+    assert analyze_source(source, PATH) == []
+
+
+def test_suppression_without_reason_is_rejected():
+    source = (
+        "import time\n"
+        "start = time.time()  # reprolint: disable=DET001\n"
+    )
+    rules = {f.rule for f in analyze_source(source, PATH)}
+    # the pragma does not take effect AND is itself flagged
+    assert rules == {"DET001", "SUP001"}
+
+
+def test_unused_suppression_is_flagged():
+    source = "x = 1  # reprolint: disable=DET001 -- left over from a refactor\n"
+    findings = analyze_source(source, PATH)
+    assert [f.rule for f in findings] == ["SUP002"]
+    assert "DET001" in findings[0].message
+
+
+def test_multi_rule_pragma_tracks_usage_per_rule():
+    source = (
+        "import time\n"
+        "start = time.time()  # reprolint: disable=DET001,DET002 -- bench only\n"
+    )
+    findings = analyze_source(source, PATH)
+    # DET001 suppressed; the DET002 half matched nothing -> stale
+    assert [f.rule for f in findings] == ["SUP002"]
+
+
+def test_parse_extracts_rules_and_reason():
+    source = "x = 1  # reprolint: disable=DET003,REG001 -- ordering proven above\n"
+    (sup,) = parse_suppressions(source, PATH)
+    assert sup.rules == ("DET003", "REG001")
+    assert sup.reason == "ordering proven above"
+    assert sup.applies_to == 1
+
+
+def test_placeholder_pragma_is_not_parsed():
+    # the documentation convention: spell pragmas with <RULE> in prose
+    source = "# reprolint: disable=<RULE> -- how to write a pragma\n"
+    assert parse_suppressions(source, PATH) == []
