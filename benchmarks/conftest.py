@@ -15,14 +15,21 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def run_figure(benchmark, driver, filename: str, **kwargs):
-    """Run a figure driver once under pytest-benchmark and persist it."""
+def run_figure(benchmark, driver, filename: str, persist: bool = True, **kwargs):
+    """Run a figure driver once under pytest-benchmark and persist it.
+
+    ``persist=False`` runs and checks the figure without rewriting its
+    committed results file — for figures whose cells embed wall-clock
+    measurements (the prototype comparison), where every regeneration
+    would churn the file with run-to-run noise.
+    """
     result = benchmark.pedantic(
         lambda: driver(**kwargs), rounds=1, iterations=1
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
     rendered = result.render()
-    (RESULTS_DIR / filename).write_text(rendered + "\n")
+    if persist:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / filename).write_text(rendered + "\n")
     print()
     print(rendered)
     return result

@@ -68,3 +68,46 @@ def test_bench_baseline_shows_fast_path_speedup():
     pre = data["pre_pr"]["full_events_per_sec"]
     post = data["full"]["events"]["events_per_sec"]
     assert post >= 2 * pre, (pre, post)
+
+
+def test_scale_tier_structure_and_speedups():
+    """The committed 10k-worker scale tier stays internally consistent.
+
+    The tier records the measured flat-array numbers next to the two
+    reference cores (pre-flat-array tip and pre-fast-path core).  The
+    10k point itself is far too slow for tier-1, so this checks the
+    committed record: the references share the new core's logical event
+    counts (byte-identity evidence), and every committed speedup field
+    equals the ratio of its committed walls.
+    """
+    scale = json.loads(BASELINE.read_text())["scale"]
+    assert scale["n_workers"] == 10_000
+    assert scale["workload"]["name"] == "google-scale10k"
+    for ref_key in ("pre_pr", "pre_fast_path"):
+        ref = scale[ref_key]
+        assert ref["commit"], ref_key
+        for policy in ("hawk", "sparrow"):
+            assert (
+                ref["policies"][policy]["events"]
+                == scale["policies"][policy]["events"]
+            ), (ref_key, policy)
+        assert ref["total_wall_s"] > scale["total_wall_s"], ref_key
+    speedup = scale["speedup"]
+    for field, pre, post in (
+        ("total_wall_vs_pre_pr", scale["pre_pr"]["total_wall_s"],
+         scale["total_wall_s"]),
+        ("total_wall_vs_pre_fast_path",
+         scale["pre_fast_path"]["total_wall_s"], scale["total_wall_s"]),
+        ("steal_round_vs_pre_pr",
+         scale["pre_pr"]["steal_round"]["us_per_round"],
+         scale["steal_round"]["us_per_round"]),
+        ("steal_round_vs_pre_fast_path",
+         scale["pre_fast_path"]["steal_round"]["us_per_round"],
+         scale["steal_round"]["us_per_round"]),
+    ):
+        assert speedup[field] == round(pre / post, 2), field
+    # the victim-selection rewrite is the tentpole: it must clear 2x
+    # against the immediately preceding core and 5x against the
+    # pre-fast-path one
+    assert speedup["steal_round_vs_pre_pr"] >= 2.0
+    assert speedup["steal_round_vs_pre_fast_path"] >= 5.0

@@ -1,4 +1,4 @@
-"""Figure 5 scale point: Hawk vs Sparrow on a 10,000-worker cluster."""
+"""Figure 5 scale points: Hawk vs Sparrow on 10k- and 100k-worker clusters."""
 
 from benchmarks.conftest import run_figure
 from repro.experiments import fig05_scale
@@ -15,3 +15,15 @@ def test_fig05_scale_10k_workers(benchmark):
     assert short_p90 < 1.0
     (load,) = result.column("offered load")
     assert 0.8 <= load <= 1.5  # the trace is sized to keep 10k nodes busy
+
+
+def test_fig05_scale_100k_workers(benchmark):
+    result = run_figure(benchmark, fig05_scale.run_100k, "fig05_scale100k.txt")
+    (nodes,) = result.column("nodes")
+    assert nodes == 100_000
+    (short_p50,) = result.column("short p50")
+    (short_p90,) = result.column("short p90")
+    assert short_p50 < 1.0
+    assert short_p90 < 1.0
+    (load,) = result.column("offered load")
+    assert 0.8 <= load <= 1.5  # same offered load as the 10k point

@@ -22,6 +22,12 @@ so every PR leaves a tracked trajectory instead of anecdotes:
   disk cache: cold (every run executed) and warm (every run served from
   the disk tier), the repeated-figure-regeneration case.
 
+A fourth, mode-independent measurement lives in the ``scale`` section
+(``--scale``): the 10k-worker Figure 5 point (Hawk + Sparrow on the
+densified Google trace) plus a steal-round microbench isolating the
+victim-selection loop at cluster scale.  ``--scale --quick`` runs only
+the microbench, cheap enough for CI smoke.
+
 The JSON file keeps one section per mode (``quick``/``full``) and merges
 on write, so a quick CI run never clobbers the committed full-scale
 numbers.  ``--check`` compares a fresh run against the committed section
@@ -155,6 +161,98 @@ def bench_stealing(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def bench_steal_rounds(n_workers: int = 10_000, rounds: int = 200_000) -> dict:
+    """Victim-selection cost of a failed stealing round at cluster scale.
+
+    Builds a Hawk engine at ``n_workers`` with every queue empty, forces
+    the policy past its parked fast-exit, and times ``rounds`` stealing
+    rounds from a short-partition thief.  Every round probes ``cap``
+    victims and fails — the overwhelmingly common round in a
+    stealing-heavy run — so this isolates the flat-bitmap victim loop
+    that the mixed-workload numbers dilute with engine work.  Cheap
+    enough for CI quick mode (no trace is simulated).
+    """
+    spec = RunSpec(
+        scheduler="hawk",
+        n_workers=n_workers,
+        cutoff=google_cutoff(),
+        short_partition_fraction=google_short_fraction(),
+    )
+    engine = build_engine(spec)
+    policy = engine.stealing
+    cluster = engine.cluster
+    # A nonzero tally is the round's entry condition; leaving every flag
+    # and queue empty makes each round a representative failure.
+    cluster.steal_hint_count = 1
+    thief = cluster.workers[-1]
+    attempt = policy._attempt_round
+    start = time.perf_counter()
+    for _ in range(rounds):
+        attempt(thief)
+    elapsed = time.perf_counter() - start
+    return {
+        "n_workers": n_workers,
+        "rounds": rounds,
+        "us_per_round": round(elapsed / rounds * 1e6, 3),
+        "rounds_per_sec": round(rounds / elapsed),
+    }
+
+
+def bench_scale(repeats: int = 3) -> dict:
+    """The 10k-worker Figure 5 scale point, best-of-``repeats``.
+
+    Runs the exact engine configurations behind
+    ``benchmarks/results/fig05_scale10k.txt`` (Hawk and Sparrow on the
+    densified Google trace at 10,000 workers) and records wall time,
+    logical events, and the deterministic stealing counters, plus the
+    :func:`bench_steal_rounds` microbench.  The section's ``pre_pr``
+    subkey preserves the same harness's numbers measured at the
+    pre-flat-array core for the speedup trajectory.
+    """
+    workload = WorkloadSpec("google-scale10k")
+    trace = workload.trace(0)
+    out: dict = {
+        "workload": {
+            "name": "google-scale10k",
+            "jobs": len(trace),
+            "tasks": trace.total_tasks,
+        },
+        "n_workers": 10_000,
+        "policies": {},
+    }
+    total_best = 0.0
+    for name in ("hawk", "sparrow"):
+        spec = RunSpec(
+            scheduler=name,
+            n_workers=10_000,
+            cutoff=workload.cutoff,
+            short_partition_fraction=(
+                workload.short_partition_fraction if name == "hawk" else 0.0
+            ),
+        )
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            engine = build_engine(spec)
+            start = time.perf_counter()
+            result = engine.run(trace)
+            best = min(best, time.perf_counter() - start)
+        entry = {
+            "events": result.events_fired,
+            "wall_s": round(best, 4),
+            "events_per_sec": round(result.events_fired / best),
+        }
+        if result.stealing is not None:
+            entry["steal_rounds"] = result.stealing.rounds
+            entry["successful_rounds"] = result.stealing.successful_rounds
+            entry["entries_stolen"] = result.stealing.entries_stolen
+        out["policies"][name] = entry
+        total_best += best
+    out["total_wall_s"] = round(total_best, 4)
+    out["steal_round"] = bench_steal_rounds()
+    return out
+
+
 def bench_sweep(scale: str) -> dict:
     """Cold vs warm wall time of a two-point fig05 sweep (isolated caches)."""
     # Imported here: experiments.parallel spins executor state on import.
@@ -241,6 +339,41 @@ def check_regression(baseline_path: Path, section: str, fresh: dict) -> list[str
     return failures
 
 
+def check_scale_regression(baseline_path: Path, fresh: dict) -> list[str]:
+    """Gate a fresh scale-tier run against the committed ``scale`` section.
+
+    Always gates the steal-round microbench; gates the 10k-point
+    events/sec too when the fresh payload includes the engine runs
+    (``--scale`` without ``--quick``).
+    """
+    if not baseline_path.is_file():
+        return [f"no baseline file at {baseline_path}"]
+    baseline = json.loads(baseline_path.read_text()).get("scale")
+    if not baseline:
+        return [f"baseline {baseline_path} has no 'scale' section"]
+    failures = []
+    committed = baseline["steal_round"]["rounds_per_sec"]
+    measured = fresh["steal_round"]["rounds_per_sec"]
+    floor = committed / REGRESSION_FACTOR
+    if measured < floor:
+        failures.append(
+            f"steal rounds/sec regression: measured {measured} < floor "
+            f"{floor:.0f} (committed {committed} / {REGRESSION_FACTOR})"
+        )
+    if "policies" in fresh:
+        for name, numbers in baseline.get("policies", {}).items():
+            committed = numbers["events_per_sec"]
+            measured = fresh["policies"][name]["events_per_sec"]
+            floor = committed / REGRESSION_FACTOR
+            if measured < floor:
+                failures.append(
+                    f"scale point {name} events/sec regression: measured "
+                    f"{measured} < floor {floor:.0f} (committed {committed} "
+                    f"/ {REGRESSION_FACTOR})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -250,6 +383,15 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help="quick-scale trace (CI smoke); default is the full benchmark scale",
+    )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help=(
+            "measure the 10k-worker fig05 scale tier instead of the "
+            "quick/full workloads; with --quick, only the steal-round "
+            "microbench runs (CI smoke)"
+        ),
     )
     parser.add_argument(
         "--repeats", type=int, default=None, help="timing repeats (best-of)"
@@ -279,6 +421,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     output = args.output or default_output()
+    if args.scale:
+        section = "scale"
+        if args.quick:
+            payload = {"steal_round": bench_steal_rounds()}
+        else:
+            payload = bench_scale(repeats=args.repeats or 3)
+        print(json.dumps({section: payload}, indent=2, sort_keys=True))
+        if args.check is not False:
+            baseline = args.check or output
+            failures = check_scale_regression(baseline, payload)
+            if failures:
+                for failure in failures:
+                    print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
+                return 1
+            print(
+                f"perf check ok: {payload['steal_round']['rounds_per_sec']} "
+                f"steal rounds/sec (baseline {baseline})"
+            )
+        if not args.no_write:
+            # Partial scale runs (--quick) and fresh full runs both keep
+            # whatever else the committed section carries (the pre_pr
+            # reference in particular).
+            existing: dict = {}
+            if output.is_file():
+                try:
+                    existing = json.loads(output.read_text()).get(section, {})
+                except (OSError, ValueError):
+                    existing = {}
+            merge_into(output, section, {**existing, **payload})
+            print(f"wrote {output}")
+        return 0
     section = "quick" if args.quick else "full"
     payload = run_bench(quick=args.quick, repeats=args.repeats)
     print(json.dumps({section: payload}, indent=2, sort_keys=True))

@@ -190,36 +190,109 @@ class ClusterEngine:
         """
         if self.stealing is None or worker.in_short_partition:
             return
-        hint = worker.steal_hint()
+        # Inline of Worker.steal_hint() — this runs on every queue/slot
+        # mutation of every general worker, where the call overhead alone
+        # is measurable.  Kept in lockstep with the method (pinned by
+        # tests/test_worker.py's property-style hint checks).
+        shorts = worker._short_seqs
+        if not shorts:
+            hint = False
+        else:
+            longs = worker._long_seqs
+            if longs and shorts[-1] > longs[0]:
+                hint = True
+            else:
+                entry = worker.current_entry
+                hint = entry is not None and entry.is_long
         if hint == worker.counted_steal_hint:
             return
         worker.counted_steal_hint = hint
         cluster = self.cluster
         if hint:
+            cluster.steal_flags[worker.worker_id] = 1
             cluster.steal_hint_count += 1
-            if cluster.steal_hint_count == 1 and self.stealing is not None:
+            if cluster.steal_hint_count == 1:
                 self.stealing.on_steal_work_appeared()
         else:
+            cluster.steal_flags[worker.worker_id] = 0
             cluster.steal_hint_count -= 1
 
     def _deliver_batch(
         self, worker_ids: Sequence[int], entries: list[QueueEntry]
     ) -> None:
-        """Deliver a same-timestamp message group in scheduling order."""
+        """Deliver a same-timestamp message group in scheduling order.
+
+        An idle worker takes its entry straight into the slot: the
+        enqueue/pop pair the general path performs is unobservable when
+        both halves happen inside the same delivery (no other event can
+        see the transient queue state, and worker-local seqs only order
+        entries that coexist in a queue).  Probes that land on idle
+        workers all start their round trip at the same ``now + 2*delay``
+        timestamp in delivery order, so the whole group's round trips
+        ride one further heap event (see :meth:`_round_trip_batch`).
+        """
         self.sim.add_logical_events(len(entries) - 1)
         workers = self.cluster.workers
         try_start = self._worker_try_start
         sync = self._sync_steal_hint
+        start_task = self._start_task
+        slot_long = self.cluster.slot_long
+        pairs: list[tuple[Worker, ProbeEntry]] | None = None
         for worker_id, entry in zip(worker_ids, entries):
             worker = workers[worker_id]
+            if worker.state is _IDLE and not worker.queue:
+                if entry.is_task:
+                    start_task(worker, entry.task, entry)  # type: ignore[attr-defined]
+                else:
+                    worker.state = _WAITING
+                    worker.current_entry = entry
+                    slot_long[worker_id] = 1 if entry.is_long else 0
+                    if pairs is None:
+                        pairs = [(worker, entry)]  # type: ignore[list-item]
+                    else:
+                        pairs.append((worker, entry))  # type: ignore[arg-type]
+                continue
             worker.enqueue(entry)
             if worker.state is _IDLE:
                 try_start(worker)
             else:
                 sync(worker)
+        if pairs is not None:
+            if self._batch:
+                delay = self.network.delay
+                self.sim.schedule_at(
+                    self.sim.now + delay + delay, self._round_trip_batch, pairs
+                )
+            else:  # pragma: no cover - batch delivery implies batching on
+                for worker, probe in pairs:
+                    self.sim.schedule(
+                        self.network.sample(),
+                        self._probe_request_arrives,
+                        worker,
+                        probe,
+                    )
+
+    def _round_trip_batch(self, pairs: "list[tuple[Worker, ProbeEntry]]") -> None:
+        """Fused round trips for one delivery batch's idle-worker probes.
+
+        Each pair stands for two logical events (request leg + response
+        leg) that the per-probe path would fire as separate heap events
+        at this same timestamp, in this same order.
+        """
+        self.sim.add_logical_events(2 * len(pairs) - 1)
+        respond = self._probe_response_arrives
+        for worker, entry in pairs:
+            respond(worker, entry, entry.frontend.next_task())
 
     def _deliver_entry(self, worker_id: int, entry: QueueEntry) -> None:
         worker = self.cluster.workers[worker_id]
+        if worker.state is _IDLE and not worker.queue:
+            # Same fast path as batched delivery: straight into the slot.
+            if entry.is_task:
+                self._start_task(worker, entry.task, entry)  # type: ignore[attr-defined]
+            else:
+                self._begin_probe_wait(worker, entry)  # type: ignore[arg-type]
+            return
         worker.enqueue(entry)
         if worker.state is _IDLE:
             self._worker_try_start(worker)
@@ -239,31 +312,35 @@ class ClusterEngine:
             if entry.is_task:
                 self._start_task(worker, entry.task, entry)
             else:
-                # Late binding: ask the job's frontend for a task.
-                worker.state = _WAITING
-                worker.current_entry = entry
-                self._sync_steal_hint(worker)
-                network = self.network
-                if self._batch:
-                    # Fused round trip: request leg + response leg in one
-                    # event at (now + delay) + delay — the same two
-                    # sequential additions the per-leg path performs, so
-                    # timestamps match bit-for-bit.  The hand-out order of
-                    # next_task() calls is unchanged — each request leg
-                    # shifts by the same constant delay, and seqs are
-                    # allocated here either way.
-                    delay = network.delay
-                    self.sim.schedule_at(
-                        self.sim.now + delay + delay,
-                        self._probe_round_trip,
-                        worker,
-                        entry,
-                    )
-                else:
-                    self.sim.schedule(
-                        network.sample(), self._probe_request_arrives, worker, entry
-                    )
+                self._begin_probe_wait(worker, entry)
                 return
+
+    def _begin_probe_wait(self, worker: Worker, entry: ProbeEntry) -> None:
+        """Late binding: park the probe in the slot, ask for a task."""
+        worker.state = _WAITING
+        worker.current_entry = entry
+        self.cluster.slot_long[worker.worker_id] = 1 if entry.is_long else 0
+        self._sync_steal_hint(worker)
+        network = self.network
+        if self._batch:
+            # Fused round trip: request leg + response leg in one
+            # event at (now + delay) + delay — the same two
+            # sequential additions the per-leg path performs, so
+            # timestamps match bit-for-bit.  The hand-out order of
+            # next_task() calls is unchanged — each request leg
+            # shifts by the same constant delay, and seqs are
+            # allocated here either way.
+            delay = network.delay
+            self.sim.schedule_at(
+                self.sim.now + delay + delay,
+                self._probe_round_trip,
+                worker,
+                entry,
+            )
+        else:
+            self.sim.schedule(
+                network.sample(), self._probe_request_arrives, worker, entry
+            )
 
     def _probe_round_trip(self, worker: Worker, entry: ProbeEntry) -> None:
         """Fused request/response: both legs of the probe round trip."""
@@ -286,6 +363,7 @@ class ClusterEngine:
             )
         worker.state = _IDLE
         worker.current_entry = None
+        self.cluster.slot_long[worker.worker_id] = 0
         if task is None:
             # Cancelled: all of the job's tasks were already handed out.
             self._worker_try_start(worker)
@@ -300,6 +378,7 @@ class ClusterEngine:
         worker.current_entry = entry
         worker.current_task = task
         worker.steal_backoff = 0.0
+        self.cluster.slot_long[worker.worker_id] = 1 if entry.is_long else 0
         task.start(worker.worker_id, self.sim.now)
         self._busy += 1
         self._sync_steal_hint(worker)
@@ -310,6 +389,7 @@ class ClusterEngine:
         worker.state = _IDLE
         worker.current_entry = None
         worker.current_task = None
+        self.cluster.slot_long[worker.worker_id] = 0
         worker.tasks_executed += 1
         self._busy -= 1
         self.scheduler.on_task_finish(task)

@@ -37,17 +37,23 @@ def sample_without_replacement(
     """
     if k > population:
         raise ValueError(f"cannot sample {k} items from population of {population}")
+    # One vectorized call replaces the per-step scalar draws.  For an
+    # array of bounds, ``Generator.integers`` applies Lemire rejection
+    # per element in bound order — bit-stream identical to the scalar
+    # ``integers(0, j + 1)`` loop it replaces (pinned by a test).
+    draws = rng.integers(0, np.arange(population - k + 1, population + 1))
     selected: set[int] = set()
     result: list[int] = []
-    for j in range(population - k, population):
-        t = int(rng.integers(0, j + 1))
+    j = population - k
+    for t in draws.tolist():
         if t in selected:
             t = j
         selected.add(t)
         result.append(t)
+        j += 1
     # Floyd's algorithm biases order; shuffle for a uniformly random order.
     rng.shuffle(result)  # type: ignore[arg-type]
-    return [int(x) for x in result]
+    return result
 
 
 def spread_sample(

@@ -30,6 +30,7 @@ such batching.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable
 
@@ -135,6 +136,25 @@ class Simulation:
         self._seq += 1
         return handle
 
+    def reschedule_fired(self, handle: EventHandle, delay: float) -> None:
+        """Re-arm a handle whose event has already fired.
+
+        Hot-path variant of :meth:`schedule_cancellable` that reuses the
+        handle object instead of allocating a fresh one (work-stealing
+        retry timers re-arm hundreds of thousands of times per run).  The
+        caller must guarantee the previous heap entry for ``handle`` was
+        popped because it *fired* — a cancelled handle still has a stale
+        entry on the heap and must not be reused.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past: delay={delay}")
+        time = self._now + delay
+        seq = self._seq
+        handle.time = time
+        handle.seq = seq
+        heapq.heappush(self._heap, (time, seq, None, handle))
+        self._seq = seq + 1
+
     def add_logical_events(self, n: int) -> None:
         """Count ``n`` extra logical events delivered by the current event.
 
@@ -204,6 +224,13 @@ class Simulation:
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
+        # The event loop churns through millions of short-lived tuples,
+        # handles, and windows whose lifetimes the cycle collector cannot
+        # shorten (refcounting frees them); its periodic generation scans
+        # only add overhead.  Suspend it for the duration of the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             if until is None and max_events is None:
                 # Fast path: the engine's production configuration.
@@ -248,3 +275,5 @@ class Simulation:
                 self._now = until
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()

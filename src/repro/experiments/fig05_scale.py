@@ -1,15 +1,18 @@
-"""Figure 5 at cluster scale: Hawk vs Sparrow on a 10,000-worker cluster.
+"""Figure 5 at cluster scale: Hawk vs Sparrow on 10k and 100k workers.
 
 The paper's Google sweep (Figure 5) tops out at cluster sizes in the low
 thousands because that is where the 1200-job synthetic trace's offered
-load lives.  This driver pushes the same comparison to a 10k-worker
-cluster: the arrival process is densified (same generator, shorter
-inter-arrivals) so ten thousand nodes sit at high-but-not-overloaded
-load — the regime where Hawk's short-job benefit peaks.  The point runs
-through the standard sweep pipeline (executor batch, two-tier cache,
-seed replication), and exists because the fast-path simulation core
-made this cluster size practical to regenerate; ``python -m repro.bench``
-tracks the underlying events/sec budget.
+load lives.  These drivers push the same comparison to larger clusters:
+the arrival process is densified (same generator, shorter inter-arrivals)
+so ten thousand — and, with another 10x densification, one hundred
+thousand — nodes sit at high-but-not-overloaded load, the regime where
+Hawk's short-job benefit peaks.  Each point runs through the standard
+sweep pipeline (executor batch, two-tier cache, seed replication).  The
+10k point exists because the fast-path simulation core made that cluster
+size practical to regenerate; the 100k point because the flat-array
+worker columns hold victim selection and hint bookkeeping at O(1) per
+round regardless of cluster size; ``python -m repro.bench`` tracks the
+underlying events/sec budget for both.
 """
 
 from __future__ import annotations
@@ -18,18 +21,24 @@ from repro.cluster.job import JobClass
 from repro.experiments.config import RunSpec
 from repro.experiments.report import FigureResult
 from repro.experiments.sweeps import extra_metrics, sweep
-from repro.experiments.traces import google_scale_workload
+from repro.experiments.traces import google_scale100k_workload, google_scale_workload
+from repro.workloads.registry import WorkloadSpec
 
 #: The headline cluster size (the paper's sweeps stop near 5k).
 SCALE_N_WORKERS = 10_000
 
+#: The flat-array frontier: one hundred thousand single-slot servers.
+SCALE_100K_N_WORKERS = 100_000
 
-def run(
-    seed: int = 0,
-    sizes: tuple[int, ...] = (SCALE_N_WORKERS,),
-    n_seeds: int = 1,
+
+def _run_scale_point(
+    workload: WorkloadSpec,
+    figure_id: str,
+    title: str,
+    seed: int,
+    sizes: tuple[int, ...],
+    n_seeds: int,
 ) -> FigureResult:
-    workload = google_scale_workload()
     trace = workload.trace(seed)
     hawk = RunSpec(
         scheduler="hawk",
@@ -44,8 +53,8 @@ def run(
     points = sweep(workload, sizes, hawk, sparrow, n_seeds=n_seeds)
 
     result = FigureResult(
-        figure_id="Figure 5 (scale)",
-        title="Hawk normalized to Sparrow at 10k workers (dense Google trace)",
+        figure_id=figure_id,
+        title=title,
         headers=(
             "nodes",
             "offered load",
@@ -82,3 +91,33 @@ def run(
             "ratio cells are mean±95% CI half-width (p: paired t vs ratio 1)"
         )
     return result
+
+
+def run(
+    seed: int = 0,
+    sizes: tuple[int, ...] = (SCALE_N_WORKERS,),
+    n_seeds: int = 1,
+) -> FigureResult:
+    return _run_scale_point(
+        google_scale_workload(),
+        "Figure 5 (scale)",
+        "Hawk normalized to Sparrow at 10k workers (dense Google trace)",
+        seed,
+        sizes,
+        n_seeds,
+    )
+
+
+def run_100k(
+    seed: int = 0,
+    sizes: tuple[int, ...] = (SCALE_100K_N_WORKERS,),
+    n_seeds: int = 1,
+) -> FigureResult:
+    return _run_scale_point(
+        google_scale100k_workload(),
+        "Figure 5 (100k scale)",
+        "Hawk normalized to Sparrow at 100k workers (dense Google trace)",
+        seed,
+        sizes,
+        n_seeds,
+    )

@@ -45,6 +45,11 @@ def google_scale_workload() -> WorkloadSpec:
     return WorkloadSpec("google-scale10k")
 
 
+def google_scale100k_workload() -> WorkloadSpec:
+    """The densified Google workload for the 100k-worker scale point."""
+    return WorkloadSpec("google-scale100k")
+
+
 def google_trace(scale: str = "full", seed: int = 0) -> Trace:
     """The materialized Google-like trace (shared per-process cache)."""
     return google_workload(scale).trace(seed)

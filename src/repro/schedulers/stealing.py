@@ -14,6 +14,30 @@ policy retries with exponential backoff while a server remains idle.  The
 backoff bounds the event overhead of retries in lightly loaded clusters
 (where stealing is irrelevant) while preserving the paper's randomized
 pull semantics, including the cap sensitivity of Figure 15.
+
+Flat-array hot loop
+-------------------
+A stealing-heavy run executes hundreds of thousands of rounds, nearly all
+of which probe ``cap`` victims and fail.  Two structures make the failing
+round cheap without touching ``Worker`` objects or changing a single
+observable draw:
+
+* **Buffered victim draws.**  ``Random.getrandbits(32 * k)`` consumes
+  exactly the same ``k`` MT19937 output words as ``k`` scalar
+  ``getrandbits(bits)`` calls (one 32-bit word each, assembled
+  little-endian), so the policy prefetches a chunk, extracts each word's
+  top ``bits`` via numpy, and serves the draws in order — draw-for-draw
+  identical to the per-call loop.  Out-of-range draws (``>= n``) are
+  dropped at refill time: the scalar loop rejects them unconditionally,
+  before any thief- or duplicate-dependent test, so no round can observe
+  them.
+* **Flat eligibility bitmap.**  ``Cluster.steal_flags`` mirrors each
+  general worker's steal hint (exact, PR 1: hint ⇔ an eligible range
+  exists), maintained by the engine's hint sync.  A round whose next
+  ``cap`` buffered draws are pairwise distinct, miss the thief, and all
+  index zero bytes of the bitmap is *proven* to fail: it consumes the
+  draws and updates the counters as a block.  Any other round falls
+  back to the exact per-draw loop.
 """
 
 from __future__ import annotations
@@ -21,12 +45,18 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.cluster.records import StealingStats
 from repro.cluster.worker import Worker, WorkerState
 from repro.core.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
     from repro.cluster.engine import ClusterEngine
+    from repro.core.simulation import Simulation
+
+_IDLE = WorkerState.IDLE
 
 
 class WorkStealing:
@@ -45,6 +75,9 @@ class WorkStealing:
     #: first wake that succeeds flips the hint tally back to zero and the
     #: rest fail in O(1), so a small constant keeps fidelity and bounds cost.
     WAKE_LIMIT = 64
+
+    #: 32-bit Mersenne words drawn per victim-buffer refill.
+    REFILL_WORDS = 4096
 
     def __init__(
         self,
@@ -65,9 +98,25 @@ class WorkStealing:
         self._rng: random.Random | None = None
         self._getrandbits = None  # bound rng.getrandbits, set in bind()
         self._victim_bits = 1
-        # Insertion-ordered so wake order is deterministic across
-        # processes (a set would pop in address order).
-        self._parked: dict[Worker, None] = {}
+        self._n_general = 0
+        # Victim-draw buffer (see module docstring).  ``_buf`` holds the
+        # in-range draws still to be served, ``_pos`` the next index.
+        self._buffered = False
+        self._window = 0
+        self._buf: list[int] = []
+        self._pos = 0
+        # Bind-time caches for the per-round hot path.
+        self._sim: "Simulation | None" = None
+        self._cluster: "Cluster | None" = None
+        self._flags: bytearray = bytearray()
+        self._flags_get = self._flags.__getitem__
+        self._workers: list[Worker] = []
+        # Parked-worker stack with lazy deletion: ``cluster.parked`` is
+        # the membership column; stale stack entries (flag already 0)
+        # are skipped on pop and squeezed out when they pile up.
+        self._park_stack: list[Worker] = []
+        self._parked_count = 0
+        self._batch_wakes = False
         self._rounds = 0
         self._successes = 0
         self._victims_probed = 0
@@ -79,20 +128,55 @@ class WorkStealing:
         self.engine = engine
         # stdlib RNG: this is the hottest random stream in a run and
         # numpy's per-call scalar overhead dominates otherwise.  Victim
-        # draws go through ``getrandbits`` directly using the same
-        # rejection sampling as ``Random.randrange`` (see
-        # ``_randbelow_with_getrandbits``), consuming the Mersenne stream
-        # identically while skipping the per-call range bookkeeping —
-        # this loop draws >1M victims in a full-trace run.
+        # draws use the same rejection sampling as ``Random.randrange``
+        # (see ``_randbelow_with_getrandbits``), consuming the Mersenne
+        # stream identically — prefetched in chunks when the draw width
+        # fits one 32-bit word (always, for any real cluster size).
         self._rng = random.Random(engine.config.seed ^ 0x5EA15EA1)
         self._getrandbits = self._rng.getrandbits
-        self._victim_bits = max(1, engine.cluster.n_general).bit_length()
+        n = engine.cluster.n_general
+        self._n_general = n
+        self._victim_bits = max(1, n).bit_length()
+        self._buffered = self._victim_bits <= 32
+        # The proven-failure block requires every round to probe exactly
+        # ``cap`` victims, which holds for both partitions when n > cap.
+        self._window = self.cap if (self._buffered and n > self.cap) else 0
+        self._sim = engine.sim
+        self._cluster = engine.cluster
+        self._flags = engine.cluster.steal_flags
+        self._flags_get = self._flags.__getitem__
+        self._workers = engine.cluster.workers
+        # Waking parked workers through one batched heap event is
+        # order-identical only when no message leg can complete in zero
+        # time (with a positive delay, a worker woken at t cannot bounce
+        # through WAITING back to IDLE — and cancel its wake — within t).
+        self._batch_wakes = engine.network.delay > 0.0
+
+    # ------------------------------------------------------------------
+    # Victim-draw buffer.
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        """Extend the buffer with one chunk of prefetched victim draws."""
+        words = self._getrandbits(32 * self.REFILL_WORDS)
+        raw = np.frombuffer(
+            words.to_bytes(4 * self.REFILL_WORDS, "little"), dtype="<u4"
+        )
+        ids = (raw >> np.uint32(32 - self._victim_bits)).astype(np.int64)
+        valid = ids[ids < self._n_general]
+        tail = self._buf[self._pos :]
+        self._buf = tail + valid.tolist() if tail else valid.tolist()
+        self._pos = 0
 
     # ------------------------------------------------------------------
     def on_worker_idle(self, worker: Worker) -> None:
         """One stealing round; schedules a backoff retry on failure."""
-        assert self.engine is not None and self._rng is not None
-        self._parked.pop(worker, None)
+        engine = self.engine
+        assert engine is not None
+        parked = engine.cluster.parked
+        wid = worker.worker_id
+        if parked[wid]:
+            parked[wid] = 0
+            self._parked_count -= 1
         if worker.pending_steal_retry is not None:
             worker.pending_steal_retry.cancel()
             worker.pending_steal_retry = None
@@ -102,27 +186,67 @@ class WorkStealing:
         self._schedule_retry(worker)
 
     def _attempt_round(self, thief: Worker) -> bool:
-        assert self.engine is not None and self._rng is not None
-        cluster = self.engine.cluster
+        cluster = self._cluster
+        assert cluster is not None
         # Fast fail: stealing needs a possibly-eligible general queue.
         if cluster.steal_hint_count == 0:
             return False
-        n = cluster.n_general
+        n = self._n_general
         if n == 0 or (n == 1 and not thief.in_short_partition):
             return False
         self._rounds += 1
+        w = self._window
+        if w:
+            pos = self._pos
+            buf = self._buf
+            end = pos + w
+            if end > len(buf):
+                self._refill()
+                while len(self._buf) < w:  # pragma: no cover - 2^-4096
+                    self._refill()
+                pos = 0
+                buf = self._buf
+                end = w
+            window = buf[pos:end]
+            # Equivalent to: no draw is flagged, none equals the thief,
+            # and all are pairwise distinct (the single set covers the
+            # last two).  Pure condition — order is free.
+            if (
+                not any(map(self._flags_get, window))
+                and len({thief.worker_id, *window}) == w + 1
+            ):
+                # Proven failure: the per-draw loop would probe exactly
+                # these ``w`` distinct, hint-free victims and reject
+                # each (the hint is exact, so flag 0 ⇒ nothing eligible).
+                self._pos = end
+                self._victims_probed += w
+                return False
+        if self._buffered:
+            return self._slow_round(thief, n)
+        return self._slow_round_percall(thief, n)  # pragma: no cover - n >= 2**32
+
+    def _slow_round(self, thief: Worker, n: int) -> bool:
+        """The exact per-draw round, served from the prefetch buffer."""
+        engine = self.engine
+        workers = self._workers
+        thief_id = thief.worker_id
         attempts = min(self.cap, n - (0 if thief.in_short_partition else 1))
         probed = 0
         seen: set[int] = set()
-        getrandbits = self._getrandbits
-        bits = self._victim_bits
-        workers = cluster.workers
-        thief_id = thief.worker_id
+        buf = self._buf
+        pos = self._pos
+        size = len(buf)
         while probed < attempts:
-            # Inlined randrange(n): rejection-sample bit_length(n) bits,
-            # exactly the draws Random.randrange would consume.
-            victim_id = getrandbits(bits)
-            if victim_id >= n or victim_id == thief_id or victim_id in seen:
+            if pos == size:
+                self._pos = pos
+                self._refill()
+                buf = self._buf
+                pos = 0
+                size = len(buf)
+                continue
+            victim_id = buf[pos]
+            pos += 1
+            if victim_id == thief_id or victim_id in seen:
                 continue
             seen.add(victim_id)
             probed += 1
@@ -136,10 +260,42 @@ class WorkStealing:
             span = victim.eligible_steal_range()
             if span is None:
                 continue
+            self._pos = pos
             self._victims_probed += probed
-            stolen = self.engine.transfer_stolen_entries(
-                victim, thief, span[0], span[1]
-            )
+            stolen = engine.transfer_stolen_entries(victim, thief, span[0], span[1])
+            self._successes += 1
+            self._entries_stolen += stolen
+            return True
+        self._pos = pos
+        self._victims_probed += probed
+        return False
+
+    def _slow_round_percall(
+        self, thief: Worker, n: int
+    ) -> bool:  # pragma: no cover - clusters past the 32-bit draw width
+        """Per-call fallback for draw widths beyond one Mersenne word."""
+        engine = self.engine
+        workers = engine.cluster.workers
+        thief_id = thief.worker_id
+        attempts = min(self.cap, n - (0 if thief.in_short_partition else 1))
+        probed = 0
+        seen: set[int] = set()
+        getrandbits = self._getrandbits
+        bits = self._victim_bits
+        while probed < attempts:
+            victim_id = getrandbits(bits)
+            if victim_id >= n or victim_id == thief_id or victim_id in seen:
+                continue
+            seen.add(victim_id)
+            probed += 1
+            victim = workers[victim_id]
+            if not victim._short_seqs:
+                continue
+            span = victim.eligible_steal_range()
+            if span is None:
+                continue
+            self._victims_probed += probed
+            stolen = engine.transfer_stolen_entries(victim, thief, span[0], span[1])
             self._successes += 1
             self._entries_stolen += stolen
             return True
@@ -152,10 +308,15 @@ class WorkStealing:
         assert engine is not None
         if engine._done:
             return
-        if engine.cluster.steal_hint_count == 0:
+        cluster = engine.cluster
+        if cluster.steal_hint_count == 0:
             # Nothing in the whole cluster is stealable: sleep until the
             # engine reports eligible work instead of polling.
-            self._parked[worker] = None
+            cluster.parked[worker.worker_id] = 1
+            self._park_stack.append(worker)
+            self._parked_count += 1
+            if len(self._park_stack) > 2 * self._parked_count + 64:
+                self._compact_stack(cluster.parked)
             return
         backoff = worker.steal_backoff
         if backoff == 0.0:
@@ -169,33 +330,109 @@ class WorkStealing:
             backoff, self._retry_fires, worker
         )
 
+    def _compact_stack(self, parked: bytearray) -> None:
+        """Drop lazily-deleted park-stack entries, preserving wake order.
+
+        Keeps each parked worker's most recent entry (scanning from the
+        top so re-parked workers lose their stale older duplicates).
+        """
+        seen: set[int] = set()
+        kept: list[Worker] = []
+        for worker in reversed(self._park_stack):
+            wid = worker.worker_id
+            if parked[wid] and wid not in seen:
+                seen.add(wid)
+                kept.append(worker)
+        kept.reverse()
+        self._park_stack = kept
+
     def _retry_fires(self, worker: Worker) -> None:
+        handle = worker.pending_steal_retry
         worker.pending_steal_retry = None
-        assert self.engine is not None
-        if self.engine._done:
+        engine = self.engine
+        assert engine is not None
+        if engine._done:
             return
-        if worker.state is not WorkerState.IDLE or worker.queue:
+        if worker.state is not _IDLE or worker.queue:
             return
         if self._attempt_round(worker):
             worker.steal_backoff = 0.0
             return
-        self._schedule_retry(worker)
+        # Fused copy of _schedule_retry for the hottest path, reusing the
+        # handle that just fired (a live fire means ``handle`` was this
+        # worker's pending retry and its heap entry is gone, so re-arming
+        # the object cannot alias a stale entry).
+        cluster = engine.cluster
+        if cluster.steal_hint_count == 0:
+            cluster.parked[worker.worker_id] = 1
+            self._park_stack.append(worker)
+            self._parked_count += 1
+            if len(self._park_stack) > 2 * self._parked_count + 64:
+                self._compact_stack(cluster.parked)
+            return
+        backoff = worker.steal_backoff
+        if backoff == 0.0:
+            backoff = self.retry_initial
+        else:
+            backoff *= 2.0
+            if backoff > self.retry_max:
+                backoff = self.retry_max
+        worker.steal_backoff = backoff
+        if handle is not None:
+            self._sim.reschedule_fired(handle, backoff)  # type: ignore[union-attr]
+            worker.pending_steal_retry = handle
+        else:  # pragma: no cover - _retry_fires is only reachable via a handle
+            worker.pending_steal_retry = engine.sim.schedule_cancellable(
+                backoff, self._retry_fires, worker
+            )
 
     def on_steal_work_appeared(self) -> None:
         """Engine callback: the cluster steal-hint tally went 0 -> 1.
 
         Wake up to :data:`WAKE_LIMIT` parked workers.  Wakes are scheduled
         (not run inline) so the engine finishes its current transition
-        before thieves inspect queues.
+        before thieves inspect queues.  With a positive network delay the
+        whole group rides one heap event (see :meth:`_wake_fires`); the
+        zero-delay path keeps one cancellable event per worker, because
+        only there can a woken worker re-idle — and revoke its own wake —
+        before the wake fires.
         """
-        assert self.engine is not None
-        if not self._parked or self.engine.all_jobs_done:
+        engine = self.engine
+        assert engine is not None
+        if self._parked_count == 0 or engine.all_jobs_done:
             return
-        for _ in range(min(self.WAKE_LIMIT, len(self._parked))):
-            worker, _ = self._parked.popitem()
-            worker.pending_steal_retry = self.engine.sim.schedule_cancellable(
-                0.0, self._retry_fires, worker
-            )
+        stack = self._park_stack
+        parked = engine.cluster.parked
+        limit = min(self.WAKE_LIMIT, self._parked_count)
+        woken: list[Worker] = []
+        while len(woken) < limit:
+            worker = stack.pop()
+            if parked[worker.worker_id]:
+                parked[worker.worker_id] = 0
+                woken.append(worker)
+        self._parked_count -= len(woken)
+        if self._batch_wakes:
+            engine.sim.schedule_cancellable(0.0, self._wake_fires, woken)
+        else:
+            for worker in woken:
+                worker.pending_steal_retry = engine.sim.schedule_cancellable(
+                    0.0, self._retry_fires, worker
+                )
+
+    def _wake_fires(self, woken: list[Worker]) -> None:
+        """One batched wake: each entry is one logical wake event."""
+        engine = self.engine
+        assert engine is not None
+        engine.sim.add_logical_events(len(woken) - 1)
+        if engine._done:
+            return
+        for worker in woken:
+            if worker.state is not _IDLE or worker.queue:
+                continue
+            if self._attempt_round(worker):
+                worker.steal_backoff = 0.0
+            else:
+                self._schedule_retry(worker)
 
     def stats(self) -> StealingStats:
         return StealingStats(

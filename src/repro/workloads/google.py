@@ -234,3 +234,29 @@ def _google_scale_workload(params, seed: int) -> Trace:
         n_jobs=params["n_jobs"], mean_interarrival=params["mean_interarrival"]
     )
     return google_like_trace(config, seed=seed)
+
+
+@register_workload(
+    "google-scale100k",
+    params=(
+        Param("n_jobs", int, default=3000, minimum=10, maximum=1_000_000,
+              doc="jobs in the densified trace"),
+        Param("mean_interarrival", float, default=0.32, minimum=0.001,
+              maximum=1e6,
+              doc="densified arrival gap: ~100k nodes at high load"),
+    ),
+    cutoff=GOOGLE_CUTOFF_S,
+    short_partition_fraction=GOOGLE_SHORT_PARTITION_FRACTION,
+    quick_params={"n_jobs": 300, "mean_interarrival": 1.6},
+)
+def _google_scale100k_workload(params, seed: int) -> Trace:
+    """Densified Google-like trace for the 100k-worker scale point.
+
+    Same generator and job population as ``google-scale10k``; the arrival
+    process is 10x denser so one hundred thousand nodes sit at the same
+    high-but-not-overloaded offered load (~1.18) as the 10k point.
+    """
+    config = GoogleTraceConfig(
+        n_jobs=params["n_jobs"], mean_interarrival=params["mean_interarrival"]
+    )
+    return google_like_trace(config, seed=seed)

@@ -1,6 +1,8 @@
 """Tests for worker queues and the Figure 3 stealing-eligibility scan."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.cluster.job import Job, JobClass
 from repro.cluster.worker import (
@@ -216,6 +218,124 @@ def test_steal_hint_false_when_shorts_only_ahead_of_long():
     idle = worker_with([short_entry(), long_entry()])
     assert idle.eligible_steal_range() is None
     assert idle.steal_hint() is False
+
+
+# -- steals through the head-enqueue seq space ---------------------------
+def test_remove_range_with_negative_seqs_from_enqueue_front():
+    """Stolen entries re-queued at the head carry negative seqs; stealing
+    them back out must still find the run in the per-class seq deques
+    (``_drop_seqs`` rotates to a match, it does not assume 0-based)."""
+    w = Worker(0, False)
+    w.enqueue(long_entry())
+    w.enqueue(short_entry())
+    front = [short_entry(), short_entry()]
+    w.enqueue_front(front)  # seqs -2, -1 ahead of the 0, 1 tail entries
+    assert [e.seq for e in w.queue] == [-2, -1, 0, 1]
+    removed = w.remove_range(0, 2)
+    assert removed == front
+    assert w.long_entries == 1
+    assert w.steal_hint() is (w.eligible_steal_range() is not None)
+    # the remaining tail entries are untouched and still steal-consistent
+    assert [e.seq for e in w.queue] == [0, 1]
+
+
+def test_remove_range_full_queue_resets_all_bookkeeping():
+    entries = [long_entry(), short_entry(), long_entry(), short_entry()]
+    w = worker_with(entries)
+    removed = w.remove_range(0, len(entries))
+    assert removed == entries
+    assert w.queue_length == 0
+    assert w.long_entries == 0
+    assert w.steal_hint() is False
+    assert w.eligible_steal_range() is None
+    # the worker is immediately reusable: seq allocation keeps going up
+    nxt = short_entry()
+    w.enqueue(nxt)
+    assert nxt.seq == len(entries)
+
+
+def test_eligible_range_run_at_tail_is_stealable():
+    # The eligible group extends to the end of the queue (no long after
+    # it), exercising the ``(start, i + 1)`` tail return of the scan.
+    entries = [long_entry(), short_entry(), short_entry()]
+    w = worker_with(entries, current=short_entry())
+    assert w.eligible_steal_range() == (1, 3)
+    removed = w.remove_range(1, 3)
+    assert removed == entries[1:]
+    assert w.steal_hint() is False
+
+
+def test_drop_seqs_middle_run():
+    # Stealing a middle group leaves the deque sorted with the run gone.
+    from collections import deque
+
+    seqs = deque([-3, -1, 2, 5, 8])
+    Worker._drop_seqs(seqs, [2, 5])
+    assert list(seqs) == [-3, -1, 8]
+
+
+# -- randomized state: hint <=> eligible range, columns track the queue --
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("enqueue"), st.booleans()),
+            st.tuples(
+                st.just("front"),
+                st.lists(st.booleans(), min_size=1, max_size=3),
+            ),
+            st.tuples(st.just("pop"), st.none()),
+            st.tuples(st.just("steal"), st.none()),
+            st.tuples(
+                st.just("slot"), st.sampled_from(["long", "short", "none"])
+            ),
+        ),
+        max_size=25,
+    )
+)
+def test_hint_matches_range_and_columns_under_random_ops(ops):
+    """``steal_hint() is (eligible_steal_range() is not None)`` and the
+    struct-of-arrays columns mirror the queue through arbitrary mixes of
+    tail enqueues, head (stolen-entry) enqueues, pops, eligible-range
+    steals and slot changes."""
+    w = Worker(0, False)
+    for op, arg in ops:
+        if op == "enqueue":
+            w.enqueue(long_entry() if arg else short_entry())
+        elif op == "front":
+            w.enqueue_front(
+                [long_entry() if f else short_entry() for f in arg]
+            )
+        elif op == "pop":
+            if w.queue:
+                w.pop_next()
+        elif op == "steal":
+            span = w.eligible_steal_range()
+            if span is not None:
+                removed = w.remove_range(*span)
+                assert removed and all(e.is_short for e in removed)
+        else:
+            if arg == "none":
+                w.current_entry = None
+                w.state = WorkerState.IDLE
+            else:
+                w.current_entry = (
+                    long_entry() if arg == "long" else short_entry()
+                )
+                w.state = WorkerState.BUSY
+        # invariants after every step
+        assert w.steal_hint() is (w.eligible_steal_range() is not None)
+        assert w._col_backlog[w._index] == len(w.queue)
+        longs = sum(1 for e in w.queue if e.is_long)
+        assert w._col_long[w._index] == longs == w.long_entries
+        seqs = [e.seq for e in w.queue]
+        assert seqs == sorted(seqs)
+        assert sorted(w._short_seqs) == [
+            e.seq for e in w.queue if e.is_short
+        ] == list(w._short_seqs)
+        assert sorted(w._long_seqs) == [
+            e.seq for e in w.queue if e.is_long
+        ] == list(w._long_seqs)
 
 
 def test_steal_hint_iff_eligible_range_exhaustive():

@@ -333,3 +333,60 @@ def test_large_event_volume_ordering():
         sim.schedule(t, fired.append, t)
     sim.run()
     assert fired == sorted(times)
+
+
+# -- reschedule_fired (handle reuse on the retry hot path) ------------------
+def test_reschedule_fired_rearms_a_fired_handle():
+    sim = Simulation()
+    fired = []
+    handle = sim.schedule_cancellable(1.0, fired.append, "first")
+    sim.run(until=1.0)
+    assert fired == ["first"]
+    # reuse the popped handle for a second firing at a later time
+    sim.reschedule_fired(handle, 2.0)
+    assert handle.time == 3.0
+    sim.run(until=5.0)
+    assert fired == ["first", "first"]  # same callback and args fire again
+
+
+def test_reschedule_fired_negative_delay_rejected():
+    sim = Simulation()
+    handle = sim.schedule_cancellable(1.0, lambda *_: None)
+    sim.run(until=1.0)
+    with pytest.raises(SimulationError):
+        sim.reschedule_fired(handle, -0.5)
+
+
+def test_reschedule_fired_preserves_event_order_and_cancel():
+    sim = Simulation()
+    fired = []
+    handle = sim.schedule_cancellable(1.0, fired.append, "reused")
+    sim.run(until=1.0)
+    # re-armed handle interleaves with fresh events in (time, seq) order
+    sim.schedule(1.0, fired.append, "before")
+    sim.reschedule_fired(handle, 1.0)
+    sim.schedule(1.0, fired.append, "after")
+    sim.run(until=2.0)
+    assert fired == ["reused", "before", "reused", "after"]
+    # a re-armed handle can still be cancelled like a fresh one
+    sim.reschedule_fired(handle, 1.0)
+    handle.cancel()
+    sim.run(until=10.0)
+    assert fired == ["reused", "before", "reused", "after"]
+
+
+def test_run_restores_gc_state():
+    import gc
+
+    sim = Simulation()
+    sim.schedule(1.0, lambda: None)
+    assert gc.isenabled()
+    sim.run()  # disables the collector for the loop, restores after
+    assert gc.isenabled()
+    gc.disable()
+    try:
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert not gc.isenabled()  # left alone when the caller disabled it
+    finally:
+        gc.enable()
