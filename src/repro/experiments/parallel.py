@@ -77,7 +77,9 @@ from repro.workloads.spec import Trace
 #: v2: RunSpec v2 — policy params moved into the registry-validated
 #: ``params`` mapping (canonically ordered in the key) and estimators
 #: gained the seed-derived noise hook.
-CACHE_VERSION = 2
+#: v3: work-stealing backoff resets on park, changing retry timing (and
+#: so RNG consumption order) in every stealing run.
+CACHE_VERSION = 3
 
 WORKERS_ENV = "REPRO_EXECUTOR_WORKERS"
 DISK_CACHE_ENV = "REPRO_RUNCACHE"

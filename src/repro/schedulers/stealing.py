@@ -311,7 +311,11 @@ class WorkStealing:
         cluster = engine.cluster
         if cluster.steal_hint_count == 0:
             # Nothing in the whole cluster is stealable: sleep until the
-            # engine reports eligible work instead of polling.
+            # engine reports eligible work instead of polling.  Parking
+            # ends the contention period, so the backoff ladder restarts
+            # from retry_initial at the next wake — without the reset a
+            # woken worker resumed at its stale pre-park maximum.
+            worker.steal_backoff = 0.0
             cluster.parked[worker.worker_id] = 1
             self._park_stack.append(worker)
             self._parked_count += 1
@@ -364,6 +368,7 @@ class WorkStealing:
         # the object cannot alias a stale entry).
         cluster = engine.cluster
         if cluster.steal_hint_count == 0:
+            worker.steal_backoff = 0.0  # parking resets the ladder
             cluster.parked[worker.worker_id] = 1
             self._park_stack.append(worker)
             self._parked_count += 1

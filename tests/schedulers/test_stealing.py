@@ -216,3 +216,35 @@ def test_cancelled_retry_handles_do_not_accumulate():
     # messages), instead of growing with the cancels issued over the run.
     max_pending = max(pending for pending, _ in samples)
     assert max_pending <= 2 * (16 + len(trace_jobs)), max_pending
+
+
+def test_park_resets_backoff_ladder():
+    """Regression: a worker that parked kept its escalated backoff, so
+    after a wake its first failed retry resumed at the stale pre-park
+    maximum instead of restarting from ``retry_initial``.  Parking ends
+    the contention period: both park paths must zero the ladder."""
+    engine, stealing = build(n_workers=8)
+    cluster = engine.cluster
+    worker = cluster.workers[0]
+    assert cluster.steal_hint_count == 0  # nothing stealable -> park
+
+    # the _schedule_retry park branch
+    worker.steal_backoff = 32.0
+    stealing._schedule_retry(worker)
+    assert cluster.parked[worker.worker_id] == 1
+    assert worker.steal_backoff == 0.0
+
+    # the fused park branch inside _retry_fires
+    other = cluster.workers[1]
+    other.steal_backoff = 64.0
+    stealing._retry_fires(other)
+    assert cluster.parked[other.worker_id] == 1
+    assert other.steal_backoff == 0.0
+
+    # a retry scheduled after the reset starts back at retry_initial
+    cluster.steal_hint_count = 1  # pretend work appeared
+    cluster.parked[worker.worker_id] = 0
+    stealing._parked_count -= 1
+    stealing._schedule_retry(worker)
+    assert worker.steal_backoff == stealing.retry_initial
+    worker.pending_steal_retry.cancel()
