@@ -28,3 +28,23 @@ def test_fig16_17_prototype(benchmark):
     assert impl_rows[0][3] < 1.2  # short p90, highest load, implementation
     assert sim_rows[0][3] < 1.2  # short p90, highest load, simulation
     assert all(r[2] < 1.5 for r in impl_rows)  # short p50 everywhere
+
+
+def test_fig16_17_from_events(benchmark):
+    """The figure folded from the committed service event log.
+
+    Unlike the live prototype rows, this is fully deterministic — the
+    wall-clock work happened once when the fixture was recorded
+    (``--make-events``) — so the rendered file persists on every run.
+    """
+    result = run_figure(
+        benchmark,
+        fig16_17_prototype.run_from_events,
+        "fig16_17_from_events.txt",
+    )
+    assert len(result.rows) >= 2
+    assert all(r[1] == "service-replay" for r in result.rows)
+    # same headline direction as the live comparison: served Hawk does
+    # not lose on short jobs at any recorded load point
+    assert all(r[2] < 1.2 for r in result.rows)  # short p50
+    assert all(r[3] < 1.2 for r in result.rows)  # short p90

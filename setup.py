@@ -1,5 +1,22 @@
 """Setuptools shim for environments without PEP 517 wheel support."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="hawk-repro",
+    version="0.8.0",
+    description=(
+        "Reproduction of Hawk: hybrid datacenter scheduling "
+        "(USENIX ATC 2015) — simulator, prototype runtime and "
+        "scheduler service"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.service.__main__:main",
+        ],
+    },
+)

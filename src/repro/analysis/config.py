@@ -64,6 +64,10 @@ SCOPES: tuple[Scope, ...] = (
             "src/repro/bench",
             "src/repro/runtime",
             "src/repro/analysis",
+            # The scheduler service tracks the wall clock by design (its
+            # virtual time *is* a function of it), but its RNG use must
+            # stay seeded and frozen configs immutable.
+            "src/repro/service",
         ),
         TOOL_RULES,
     ),

@@ -438,6 +438,43 @@ class ClusterEngine:
             )
 
     # ------------------------------------------------------------------
+    # Online submission (long-running service mode).
+    # ------------------------------------------------------------------
+    def submit_job(
+        self, spec: "JobSpec", estimated_task_duration: float | None = None
+    ) -> Job:
+        """Inject one job into a live simulation (online serving mode).
+
+        The batch entry point :meth:`run` materializes a whole trace up
+        front; a long-running service instead feeds jobs one at a time as
+        they arrive, with ``spec.submit_time`` already expressed on the
+        simulation clock.  The job counts toward completion tracking and
+        re-opens a drained run (``all_jobs_done`` drops back to ``False``),
+        so stealing and retry machinery resume when traffic returns.
+        ``estimated_task_duration`` overrides the engine's estimator — a
+        serving client may supply its own runtime estimate (the paper's
+        estimates come from prior runs of the same job).
+        """
+        if spec.submit_time < self.sim.now:
+            raise SimulationError(
+                f"cannot submit job {spec.job_id} at t={spec.submit_time} "
+                f"before now={self.sim.now}"
+            )
+        if estimated_task_duration is None:
+            estimated_task_duration = self.estimate(spec)
+        job = Job(
+            job_id=spec.job_id,
+            submit_time=spec.submit_time,
+            task_durations=spec.task_durations,
+            estimated_task_duration=estimated_task_duration,
+            cutoff=self.config.cutoff,
+        )
+        self._jobs_total += 1
+        self._done = False
+        self.sim.schedule_at(job.submit_time, self.scheduler.on_job_submit, job)
+        return job
+
+    # ------------------------------------------------------------------
     # Run loop.
     # ------------------------------------------------------------------
     def run(self, trace: Sequence["JobSpec"]) -> RunResult:

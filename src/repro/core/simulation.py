@@ -104,6 +104,20 @@ class Simulation:
         """Number of entries still on the heap, including cancelled ones."""
         return len(self._heap)
 
+    @property
+    def next_event_time(self) -> float | None:
+        """Timestamp of the earliest pending heap entry, or ``None``.
+
+        Cancelled entries are not skipped, so the value is a lower bound
+        on the next *firing* time — exactly what an online driver needs
+        to size its sleep before the next :meth:`run` slice.
+        """
+        heap = self._heap
+        if not heap:
+            return None
+        time: float = heap[0][0]
+        return time
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> None:

@@ -17,6 +17,13 @@ contention and real message latency.
 
 from __future__ import annotations
 
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
 from repro.cluster.job import JobClass
 from repro.cluster.records import RunResult
 from repro.experiments.config import RunSpec
@@ -148,3 +155,223 @@ def run(
         "(Section 4.10)"
     )
     return result
+
+
+# -- event-log replay path ---------------------------------------------------
+#
+# A second "implementation" exists since the scheduler service landed: the
+# same Hawk/Sparrow comparison can be driven through live service bridges,
+# every lifecycle transition persisted, and the figure rendered later from
+# nothing but the event log.  ``make_events_fixture`` records such a log
+# (opt-in: the recording embeds wall-clock timing) and ``run_from_events``
+# folds a committed fixture back into the table deterministically.
+
+#: Load points recorded into the committed fixture (kept to the sweep's
+#: endpoints so the file stays small).
+FIXTURE_MULTIPLES = (1.0, 2.25)
+
+
+def default_events_path() -> Path:
+    """The committed fixture next to the other benchmark results."""
+    return (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks"
+        / "results"
+        / "fig16_17_events.ndjson.gz"
+    )
+
+
+def make_events_fixture(
+    path: Path | None = None,
+    n_jobs: int = 30,
+    n_workers: int = 40,
+    multiples=FIXTURE_MULTIPLES,
+    target_mean_task_runtime: float = 0.05,
+    time_scale: float = 4.0,
+    seed: int = 3,
+) -> Path:
+    """Record the Hawk/Sparrow load sweep as a service event log.
+
+    Streams the scaled Google sample through one live
+    :class:`~repro.service.scheduler_bridge.SchedulerBridge` per
+    (scheduler, load point) — pacing submissions so virtual arrival times
+    reproduce the trace — and exports the store as portable NDJSON.  The
+    client supplies the estimate that carries each job's original
+    classification, exactly like the simulation rows of :func:`run`.
+    """
+    from repro.service.event_store import EventStore
+    from repro.service.models import RunConfig, Submission
+    from repro.service.replay import export_ndjson
+    from repro.service.scheduler_bridge import SchedulerBridge
+
+    path = path or default_events_path()
+    base = WorkloadSpec("google", {"n_jobs": n_jobs}).trace(seed)
+    scaled = scale_trace_for_prototype(
+        base,
+        cluster_size=n_workers,
+        cutoff=GOOGLE_CUTOFF_S,
+        target_mean_task_runtime=target_mean_task_runtime,
+    )
+    base_interarrival = scaled.trace.total_task_seconds / (
+        len(scaled.trace) * n_workers
+    )
+
+    def carried_estimate(spec) -> float:
+        if spec.job_id in scaled.long_job_ids:
+            return max(spec.mean_task_duration, scaled.cutoff)
+        return min(spec.mean_task_duration, 0.99 * scaled.cutoff)
+
+    labels: dict[str, dict[str, object]] = {}
+    with tempfile.TemporaryDirectory(prefix="fig16-17-events-") as tmp:
+        with EventStore(os.path.join(tmp, "fixture.db")) as store:
+            for index, multiple in enumerate(multiples):
+                trace = with_interarrival(
+                    scaled.trace, multiple * base_interarrival, seed=seed
+                )
+                arrivals = sorted(trace, key=lambda s: s.submit_time)
+                for scheduler in ("sparrow", "hawk"):
+                    config = RunConfig(
+                        policy=scheduler,
+                        n_workers=n_workers,
+                        cutoff=scaled.cutoff,
+                        short_partition_fraction=google_short_fraction(),
+                        # the seed doubles as the load-point index so each
+                        # (scheduler, multiple) pair is its own run id
+                        seed=index,
+                    )
+                    bridge = SchedulerBridge(
+                        config, store, time_scale=time_scale
+                    ).start()
+                    t0 = time.monotonic()
+                    for spec in arrivals:
+                        delay = spec.submit_time / time_scale - (
+                            time.monotonic() - t0
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+                        bridge.submit(
+                            Submission(
+                                tasks=spec.task_durations,
+                                tenant="fig16-17",
+                                estimate=carried_estimate(spec),
+                            )
+                        )
+                    if not bridge.drain(timeout=300.0):
+                        raise TimeoutError(
+                            f"{scheduler} run at multiple {multiple} did "
+                            "not drain"
+                        )
+                    bridge.stop(timeout=300.0)
+                    labels[config.run_id] = {
+                        "scheduler": scheduler,
+                        "multiple": multiple,
+                    }
+            export_ndjson(
+                store,
+                path,
+                meta={
+                    "figure": "16-17",
+                    "n_jobs": n_jobs,
+                    "n_workers": n_workers,
+                    "time_scale": time_scale,
+                    "target_mean_task_runtime": target_mean_task_runtime,
+                    "seed": seed,
+                },
+                labels=labels,
+            )
+    return path
+
+
+def run_from_events(path: Path | str | None = None) -> FigureResult:
+    """Render the figure from a recorded event log — no scheduling at all.
+
+    Every row is a cold fold of the fixture's persisted events; rerunning
+    is deterministic because the wall-clock work happened once, at
+    recording time.
+    """
+    from repro.service.replay import load_ndjson
+
+    fixture = Path(path) if path is not None else default_events_path()
+    log = load_ndjson(fixture)
+    results = log.results()
+    by_point: dict[float, dict[str, RunResult]] = {}
+    for run_id, run_result in results.items():
+        label = log.labels.get(run_id, {})
+        point = by_point.setdefault(float(label["multiple"]), {})
+        point[str(label["scheduler"])] = run_result
+    n_workers = next(iter(log.configs.values())).n_workers
+    result = FigureResult(
+        figure_id="Figures 16-17 (event-log replay)",
+        title=(
+            f"Hawk/Sparrow served online, {n_workers} virtual nodes, "
+            "folded from the recorded event log"
+        ),
+        headers=(
+            "interarrival multiple",
+            "system",
+            "short p50",
+            "short p90",
+            "long p50",
+            "long p90",
+        ),
+    )
+    for multiple in sorted(by_point):
+        pair = by_point[multiple]
+        result.add_row(
+            multiple,
+            "service-replay",
+            _ratio(pair["hawk"], pair["sparrow"], JobClass.SHORT, 50),
+            _ratio(pair["hawk"], pair["sparrow"], JobClass.SHORT, 90),
+            _ratio(pair["hawk"], pair["sparrow"], JobClass.LONG, 50),
+            _ratio(pair["hawk"], pair["sparrow"], JobClass.LONG, 90),
+        )
+    result.add_note(
+        f"folded from {fixture.name}: every row is a cold replay of the "
+        "scheduler service's persisted lifecycle events"
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fig16_17_prototype",
+        description=(
+            "Figures 16-17 from the service event log: render a committed "
+            "fixture (--from-events) or record a fresh one (--make-events)."
+        ),
+    )
+    parser.add_argument(
+        "--from-events",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "fold an NDJSON event log into the figure "
+            "(default: the committed fixture)"
+        ),
+    )
+    parser.add_argument(
+        "--make-events",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="record the fixture by running the sweep through live bridges",
+    )
+    args = parser.parse_args(argv)
+    if args.make_events is not None:
+        target = Path(args.make_events) if args.make_events else None
+        written = make_events_fixture(target)
+        print(f"wrote {written}")
+        return 0
+    if args.from_events is not None:
+        source = Path(args.from_events) if args.from_events else None
+        print(run_from_events(source).render())
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -116,6 +116,7 @@ def render_policy_docs() -> str:
         flags = [
             f"stealing: {'yes' if entry.uses_stealing else 'no'}",
             f"partition: {'yes' if entry.uses_partition else 'no'}",
+            f"online: {'yes' if entry.serves_online else 'no'}",
         ]
         if entry.ablation_of:
             flags.append(f"ablation of `{entry.ablation_of}`")

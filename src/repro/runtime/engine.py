@@ -9,6 +9,7 @@ simulator produces, so every metric and comparison works unchanged.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -24,6 +25,8 @@ from repro.workloads.spec import Trace
 
 #: Schedulers the prototype supports.
 PROTOTYPE_SCHEDULERS = ("hawk", "sparrow", "split")
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +45,9 @@ class PrototypeConfig:
     seed: int = 0
     #: Hard wall-clock limit; a run exceeding it raises.
     timeout: float = 300.0
+    #: Per-monitor join budget at shutdown; a monitor thread still alive
+    #: past it is reported as leaked instead of blocking forever.
+    join_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.scheduler not in PROTOTYPE_SCHEDULERS:
@@ -52,6 +58,8 @@ class PrototypeConfig:
             raise ConfigurationError("need at least 2 node monitors")
         if self.n_frontends < 1:
             raise ConfigurationError("need at least 1 frontend")
+        if self.join_timeout <= 0:
+            raise ConfigurationError("join_timeout must be positive")
 
 
 class PrototypeCluster:
@@ -69,6 +77,13 @@ class PrototypeCluster:
         self._stolen: dict[int, int] = {}
         self._all_done = threading.Event()
         self._t0 = 0.0
+        #: Monitor ids whose threads outlived the shutdown join budget in
+        #: the most recent :meth:`shutdown_and_join` (empty on a clean
+        #: teardown).  Leaked threads are daemons, so they cannot keep
+        #: the process alive — but a nonempty tuple means their RNG/queue
+        #: state may still be mutating and the run should not be trusted
+        #: for reuse of this cluster object.
+        self.leaked_monitors: tuple[int, ...] = ()
 
         self.monitors = [
             NodeMonitor(
@@ -130,6 +145,34 @@ class PrototypeCluster:
             self.coordinator.submit(job)
 
     # ------------------------------------------------------------------
+    def shutdown_and_join(self) -> tuple[int, ...]:
+        """Stop every monitor and join their threads with a bounded wait.
+
+        Returns the ids of monitors whose threads failed to exit within
+        ``config.join_timeout`` (also stored on :attr:`leaked_monitors`
+        and logged as a warning).  A stuck monitor — e.g. one blocked in
+        a cross-monitor steal against a wedged peer — therefore degrades
+        a run's teardown into a reported leak instead of hanging the
+        caller indefinitely.
+        """
+        for monitor in self.monitors:
+            monitor.shutdown()
+        leaked = []
+        for monitor in self.monitors:
+            monitor.join(timeout=self.config.join_timeout)
+            if monitor.is_alive():
+                leaked.append(monitor.monitor_id)
+        self.leaked_monitors = tuple(leaked)
+        if leaked:
+            logger.warning(
+                "%d node-monitor thread(s) did not exit within %.1fs of "
+                "shutdown (ids %s); their daemon threads were abandoned",
+                len(leaked),
+                self.config.join_timeout,
+                leaked,
+            )
+        return self.leaked_monitors
+
     def run(
         self, trace: Trace, long_job_ids: frozenset[int] | None = None
     ) -> RunResult:
@@ -173,15 +216,11 @@ class PrototypeCluster:
                 short_counter += 1
 
         if not self._all_done.wait(timeout=cfg.timeout):
-            for monitor in self.monitors:
-                monitor.shutdown()
+            self.shutdown_and_join()
             raise TimeoutError(
                 f"prototype run exceeded {cfg.timeout}s wall-clock budget"
             )
-        for monitor in self.monitors:
-            monitor.shutdown()
-        for monitor in self.monitors:
-            monitor.join(timeout=5.0)
+        self.shutdown_and_join()
 
         records = []
         for job in jobs:

@@ -23,7 +23,13 @@ A registration consists of
   from the policy's declared ``steal_cap`` param) and ``uses_partition``
   (the cluster reserves ``RunSpec.short_partition_fraction`` of its
   workers for short tasks).  These replace the closed ``_STEALING`` /
-  ``_PARTITIONED`` name sets that predated the registry;
+  ``_PARTITIONED`` name sets that predated the registry.  A third flag,
+  ``serves_online`` (default ``True``), declares that the policy can be
+  driven one submission at a time by the long-running scheduler service
+  (:mod:`repro.service`): policies whose decisions depend on
+  whole-trace knowledge no online client could supply (the
+  ``omniscient`` oracle) opt out and the service rejects submissions
+  targeting them;
 * ``ablation_of`` — the base policy this entry is an ablation of
   (e.g. the ``hawk-no-*`` family names ``"hawk"``), letting drivers such
   as Figure 7 enumerate an ablation family from the registry.
@@ -84,6 +90,7 @@ class PolicyEntry:
     params: tuple[Param, ...] = ()
     uses_stealing: bool = False
     uses_partition: bool = False
+    serves_online: bool = True
     ablation_of: str | None = None
     doc: str = ""
 
@@ -109,6 +116,7 @@ def register_policy(
     params: Iterable[Param] = (),
     uses_stealing: bool = False,
     uses_partition: bool = False,
+    serves_online: bool = True,
     ablation_of: str | None = None,
     doc: str | None = None,
 ):
@@ -149,6 +157,7 @@ def register_policy(
             params=params,
             uses_stealing=uses_stealing,
             uses_partition=uses_partition,
+            serves_online=serves_online,
             ablation_of=ablation_of,
             doc=summary,
         )
@@ -246,6 +255,7 @@ def describe() -> str:
         flags = [
             f"stealing={'yes' if entry.uses_stealing else 'no'}",
             f"partition={'yes' if entry.uses_partition else 'no'}",
+            f"online={'yes' if entry.serves_online else 'no'}",
         ]
         if entry.ablation_of:
             flags.append(f"ablation-of={entry.ablation_of}")

@@ -17,7 +17,10 @@ works in every figure driver and sweep without touching
   work (true durations, all classes visible, whole cluster, zero probe
   traffic).  Section 2.3's "an omniscient scheduler would yield job
   runtimes of 100s for the majority of the short jobs" made concrete —
-  a lower-bound companion to the realistic policies.
+  a lower-bound companion to the realistic policies.  Registered with
+  ``serves_online=False``: an oracle has no online counterpart (its
+  whole point is perfect knowledge a live client cannot certify), so
+  the scheduler service refuses to serve it.
 """
 
 from __future__ import annotations
@@ -78,7 +81,7 @@ class BatchSamplingScheduler(SparrowScheduler):
                                       self.batch_size))
 
 
-@register_policy("omniscient")
+@register_policy("omniscient", serves_online=False)
 class OmniscientScheduler(CentralizedScheduler):
     """Idealized least-true-backlog placement (perfect knowledge)."""
 

@@ -1,0 +1,202 @@
+"""Transport-agnostic service operations.
+
+Both front ends — the asyncio HTTP server and the newline-delimited-JSON
+socket (:mod:`repro.service.server`) — are thin parsers over the
+:class:`ServiceState` methods here, so the two transports cannot drift:
+a submission means the same thing whichever door it came through.
+
+``ServiceState`` owns the event store and one lazily-created
+:class:`~repro.service.scheduler_bridge.SchedulerBridge` per distinct
+:class:`~repro.service.models.RunConfig` (keyed by its content-digest
+``run_id``): two clients naming the same policy + params + cluster shape
+share one virtual cluster, while different configurations are isolated
+runs in the same store.
+
+All methods raise :class:`~repro.core.errors.ConfigurationError` for
+client mistakes (unknown policy, bad params, unknown run); transports
+map that to a 400-class response.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.core.errors import ConfigurationError
+from repro.service.event_store import EventStore
+from repro.service.models import RunConfig, Submission
+from repro.service.replay import replay, result_to_json
+from repro.service.scheduler_bridge import SchedulerBridge
+
+
+class ServiceState:
+    """Shared state behind every transport: store plus live bridges."""
+
+    def __init__(
+        self,
+        store: EventStore,
+        max_runs: int = 32,
+        time_scale: float = 1.0,
+    ) -> None:
+        if max_runs < 1:
+            raise ConfigurationError("max_runs must be >= 1")
+        self.store = store
+        self.max_runs = max_runs
+        self.time_scale = time_scale
+        self._bridges: dict[str, SchedulerBridge] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- operations ------------------------------------------------------
+    def submit(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """One job submission: validate, route to its run, enqueue.
+
+        The payload carries both the run configuration (``policy``,
+        ``params``, optional cluster shape) and the job itself
+        (``tasks``, ``tenant``, optional ``estimate``).
+        """
+        config = RunConfig.from_json(payload)
+        submission = Submission.from_json(payload)
+        bridge = self._bridge_for(config)
+        job_id = bridge.submit(submission)
+        return {"run_id": bridge.run_id, "job_id": job_id}
+
+    def runs(self) -> dict[str, Any]:
+        """Every run the store knows about, live or historical."""
+        with self._lock:
+            live = dict(self._bridges)
+        rows = []
+        for run_id, config in self.store.run_configs().items():
+            row: dict[str, Any] = {
+                "run_id": run_id,
+                "policy": config.policy,
+                "live": run_id in live,
+            }
+            bridge = live.get(run_id)
+            if bridge is not None:
+                row.update(bridge.stats())
+            rows.append(row)
+        return {"runs": rows}
+
+    def run_detail(self, run_id: str) -> dict[str, Any]:
+        config = self._config_for(run_id)
+        detail: dict[str, Any] = {
+            "run_id": run_id,
+            "config": config.to_json(),
+            "events": self.store.event_count(run_id),
+        }
+        bridge = self._live_bridge(run_id)
+        if bridge is not None:
+            detail["stats"] = bridge.stats()
+            detail["latencies"] = list(bridge.latencies())
+        return detail
+
+    def run_result(
+        self, run_id: str, drain: bool = True, timeout: float = 60.0
+    ) -> dict[str, Any]:
+        """The run's folded result; optionally wait for in-flight jobs.
+
+        Blocking — transports call it off the event loop.
+        """
+        config = self._config_for(run_id)
+        bridge = self._live_bridge(run_id)
+        drained = True
+        if bridge is not None:
+            if drain:
+                drained = bridge.drain(timeout)
+            result = bridge.result()
+        else:
+            result = replay(self.store, run_id).result(config)
+        return {
+            "run_id": run_id,
+            "drained": drained,
+            "result": result_to_json(result),
+        }
+
+    def replay_check(self, run_id: str) -> dict[str, Any]:
+        """Fold the stored log cold and compare against the live result.
+
+        Only meaningful while the run's bridge is alive; a historical
+        run has nothing but the log to compare with itself.
+        """
+        config = self._config_for(run_id)
+        bridge = self._live_bridge(run_id)
+        if bridge is None:
+            raise ConfigurationError(
+                f"run {run_id!r} has no live bridge to compare against"
+            )
+        live = bridge.result()
+        cold = replay(self.store, run_id).result(config)
+        return {
+            "run_id": run_id,
+            "match": live == cold,
+            "live_jobs": len(live.jobs),
+            "replayed_jobs": len(cold.jobs),
+        }
+
+    def checkpoint(self, run_id: str, compact: bool = False) -> dict[str, Any]:
+        bridge = self._live_bridge(run_id)
+        if bridge is None:
+            raise ConfigurationError(
+                f"run {run_id!r} has no live bridge to checkpoint"
+            )
+        compacted = bridge.checkpoint(compact=compact)
+        return {"run_id": run_id, "compacted_events": compacted}
+
+    def health(self) -> dict[str, Any]:
+        with self._lock:
+            live = len(self._bridges)
+        return {
+            "status": "ok",
+            "live_runs": live,
+            "events": self.store.event_count(),
+        }
+
+    def close(self, timeout: float = 60.0) -> bool:
+        """Drain and stop every live bridge, then flush the store."""
+        with self._lock:
+            if self._closed:
+                return True
+            self._closed = True
+            bridges = list(self._bridges.values())
+            self._bridges.clear()
+        clean = True
+        for bridge in bridges:
+            clean = bridge.stop(timeout) and clean
+        self.store.flush()
+        return clean
+
+    # -- internals -------------------------------------------------------
+    def _bridge_for(self, config: RunConfig) -> SchedulerBridge:
+        run_id = config.run_id
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("service is shutting down")
+            bridge = self._bridges.get(run_id)
+            if bridge is None:
+                if len(self._bridges) >= self.max_runs:
+                    raise ConfigurationError(
+                        f"run limit reached ({self.max_runs} live runs); "
+                        "drain one before starting another configuration"
+                    )
+                bridge = SchedulerBridge(
+                    config, self.store, time_scale=self.time_scale
+                ).start()
+                self._bridges[run_id] = bridge
+            return bridge
+
+    def _live_bridge(self, run_id: str) -> SchedulerBridge | None:
+        with self._lock:
+            return self._bridges.get(run_id)
+
+    def _config_for(self, run_id: str) -> RunConfig:
+        bridge = self._live_bridge(run_id)
+        if bridge is not None:
+            return bridge.config
+        configs = self.store.run_configs()
+        try:
+            return configs[run_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown run {run_id!r}; known runs: {sorted(configs)}"
+            ) from None

@@ -1,0 +1,291 @@
+"""Wire and storage models of the scheduler service.
+
+Three kinds of value cross the service's boundaries and all of them live
+here so the HTTP front end, the NDJSON socket, the event store and the
+replay fold agree on one schema:
+
+* :class:`Submission` — one client job: task durations, a tenant label
+  and an optional runtime estimate.  Validated eagerly (positive finite
+  durations, bounded task counts) so malformed input dies at the edge
+  with a :class:`~repro.core.errors.ConfigurationError`, never inside
+  the simulation thread.
+* :class:`RunConfig` — the virtual cluster one run schedules against:
+  policy name plus params (validated against the live
+  ``@register_policy`` schema), worker count, cutoff, partition
+  fraction, seed.  Its :attr:`~RunConfig.run_id` is a content digest, so
+  two submissions naming the same configuration land in the same run.
+* :class:`LifecycleEvent` — one appended event-store row.  ``vtime`` is
+  the simulation clock, ``wtime`` the wall clock of the append, ``seq``
+  the store-assigned monotonic sequence number that totally orders the
+  log.
+
+Event kinds (the ``KIND_*`` constants) name every lifecycle transition a
+job goes through: submitted → probed → queued → started (per task,
+possibly after being stolen) → task-completed → completed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Any, Mapping
+
+from repro.core.errors import ConfigurationError
+from repro.schedulers import registry
+from repro.schedulers.registry import FrozenParams
+
+# -- event kinds ---------------------------------------------------------
+KIND_SUBMITTED = "submitted"
+KIND_PROBED = "probed"
+KIND_QUEUED = "queued"
+KIND_STARTED = "started"
+KIND_STOLEN = "stolen"
+KIND_TASK_COMPLETED = "task-completed"
+KIND_COMPLETED = "completed"
+
+EVENT_KINDS: tuple[str, ...] = (
+    KIND_SUBMITTED,
+    KIND_PROBED,
+    KIND_QUEUED,
+    KIND_STARTED,
+    KIND_STOLEN,
+    KIND_TASK_COMPLETED,
+    KIND_COMPLETED,
+)
+
+#: Per-job task-count ceiling; protects the single scheduling thread from
+#: one pathological submission.
+MAX_TASKS_PER_JOB = 10_000
+
+#: Longest single task a client may submit, in (virtual) seconds.
+MAX_TASK_DURATION = 1e6
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, NaN rejected."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@dataclass(slots=True)
+class LifecycleEvent:
+    """One event-store row: a single lifecycle transition of one run.
+
+    Mutable only in ``seq``, which the store assigns at append time;
+    every other field is fixed by the emitter.
+    """
+
+    run_id: str
+    kind: str
+    vtime: float
+    job_id: int | None = None
+    task_index: int | None = None
+    worker_id: int | None = None
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    wtime: float = 0.0
+    seq: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "vtime": self.vtime,
+            "wtime": self.wtime,
+            "job_id": self.job_id,
+            "task_index": self.task_index,
+            "worker_id": self.worker_id,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "LifecycleEvent":
+        kind = data["kind"]
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(f"unknown event kind {kind!r}")
+        return cls(
+            run_id=data["run_id"],
+            kind=kind,
+            vtime=float(data["vtime"]),
+            job_id=data.get("job_id"),
+            task_index=data.get("task_index"),
+            worker_id=data.get("worker_id"),
+            payload=dict(data.get("payload") or {}),
+            wtime=float(data.get("wtime", 0.0)),
+            seq=int(data.get("seq", 0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RunConfig:
+    """One run's virtual cluster: policy, params and cluster shape.
+
+    Defaults mirror the paper's standard setting (100 workers, 1.129 s
+    cutoff, 17 % short partition) so a client submitting just
+    ``{"policy": "hawk"}`` gets the canonical configuration.
+    """
+
+    policy: str
+    params: FrozenParams = field(default_factory=FrozenParams)
+    n_workers: int = 100
+    cutoff: float = 1.129
+    short_partition_fraction: float = 0.17
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Schema-validate and canonicalize params against the registry so
+        # the digest (and therefore the run identity) is independent of
+        # params-dict insertion order and of omitted defaults.
+        entry = registry.policy_entry(self.policy)
+        if not entry.serves_online:
+            raise ConfigurationError(
+                f"policy {self.policy!r} is registered with "
+                "serves_online=False and cannot be served"
+            )
+        object.__setattr__(
+            self, "params", registry.validate_params(self.policy, self.params)
+        )
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.cutoff <= 0:
+            raise ConfigurationError(
+                f"cutoff must be positive, got {self.cutoff}"
+            )
+        if not 0.0 <= self.short_partition_fraction < 1.0:
+            raise ConfigurationError(
+                "short_partition_fraction must be in [0, 1), got "
+                f"{self.short_partition_fraction}"
+            )
+
+    @property
+    def run_id(self) -> str:
+        """Stable content digest: same config ⇒ same run identity."""
+        digest = blake2b(
+            canonical_json(self.to_json()).encode(), digest_size=4
+        ).hexdigest()
+        return f"{self.policy}-{digest}"
+
+    @property
+    def scheduler_name(self) -> str:
+        """``scheduler_name`` stamped on folded :class:`RunResult` records."""
+        return f"service-{self.policy}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "params": dict(self.params),
+            "n_workers": self.n_workers,
+            "cutoff": self.cutoff,
+            "short_partition_fraction": self.short_partition_fraction,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "RunConfig":
+        policy = data.get("policy")
+        if not isinstance(policy, str) or not policy:
+            raise ConfigurationError("submission needs a 'policy' string")
+        params = data.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise ConfigurationError("'params' must be a mapping")
+        try:
+            return cls(
+                policy=policy,
+                params=FrozenParams(params),
+                n_workers=int(data.get("n_workers", 100)),
+                cutoff=float(data.get("cutoff", 1.129)),
+                short_partition_fraction=float(
+                    data.get("short_partition_fraction", 0.17)
+                ),
+                seed=int(data.get("seed", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad run config: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class Submission:
+    """One client job submission, validated at the service edge."""
+
+    tasks: tuple[float, ...]
+    tenant: str = "default"
+    estimate: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ConfigurationError("a submission needs at least one task")
+        if len(self.tasks) > MAX_TASKS_PER_JOB:
+            raise ConfigurationError(
+                f"too many tasks ({len(self.tasks)} > {MAX_TASKS_PER_JOB})"
+            )
+        for duration in self.tasks:
+            if not (
+                isinstance(duration, float)
+                and math.isfinite(duration)
+                and 0.0 < duration <= MAX_TASK_DURATION
+            ):
+                raise ConfigurationError(
+                    f"task durations must be finite floats in "
+                    f"(0, {MAX_TASK_DURATION:g}], got {duration!r}"
+                )
+        if self.estimate is not None and not (
+            isinstance(self.estimate, float)
+            and math.isfinite(self.estimate)
+            and 0.0 < self.estimate <= MAX_TASK_DURATION
+        ):
+            raise ConfigurationError(
+                f"estimate must be a finite positive float, "
+                f"got {self.estimate!r}"
+            )
+        if not self.tenant or len(self.tenant) > 256:
+            raise ConfigurationError("tenant must be 1..256 characters")
+
+    @property
+    def mean_task_duration(self) -> float:
+        return sum(self.tasks) / len(self.tasks)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Submission":
+        tasks = data.get("tasks")
+        if not isinstance(tasks, (list, tuple)):
+            raise ConfigurationError("'tasks' must be a list of durations")
+        try:
+            durations = tuple(float(d) for d in tasks)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad task duration: {exc}") from exc
+        estimate = data.get("estimate")
+        if estimate is not None:
+            try:
+                estimate = float(estimate)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(f"bad estimate: {exc}") from exc
+        tenant = data.get("tenant", "default")
+        if not isinstance(tenant, str):
+            raise ConfigurationError("'tenant' must be a string")
+        return cls(tasks=durations, tenant=tenant, estimate=estimate)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Process-level service settings (transport, store, limits)."""
+
+    db_path: str = "service_events.db"
+    host: str = "127.0.0.1"
+    http_port: int = 0
+    socket_port: int = 0
+    max_runs: int = 32
+    max_body_bytes: int = 4 * 1024 * 1024
+    drain_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_runs < 1:
+            raise ConfigurationError("max_runs must be >= 1")
+        if self.max_body_bytes < 1024:
+            raise ConfigurationError("max_body_bytes must be >= 1024")
+        if self.drain_timeout <= 0:
+            raise ConfigurationError("drain_timeout must be positive")

@@ -2,8 +2,9 @@
 
 The container used for quick local loops may not ship mypy; CI installs
 it and this test then enforces the committed ``mypy.ini`` on
-``repro.core`` + ``repro.cluster``.  Locally it skips cleanly when mypy
-is absent rather than failing on a missing tool.
+``repro.core`` + ``repro.cluster`` + ``repro.service``.  Locally it
+skips cleanly when mypy is absent rather than failing on a missing
+tool.
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
-def test_core_and_cluster_pass_mypy():
+def test_core_cluster_and_service_pass_mypy():
     pytest.importorskip("mypy", reason="mypy not installed; CI runs this gate")
     proc = subprocess.run(
         [
@@ -28,6 +29,7 @@ def test_core_and_cluster_pass_mypy():
             str(REPO_ROOT / "mypy.ini"),
             "src/repro/core",
             "src/repro/cluster",
+            "src/repro/service",
         ],
         capture_output=True,
         text=True,

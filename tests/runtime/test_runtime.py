@@ -159,6 +159,71 @@ def test_prototype_sparrow_has_no_stealing():
     assert res.stealing.entries_stolen == 0
 
 
+# -- shutdown hardening -----------------------------------------------------
+class StuckMonitor:
+    """Stands in for a NodeMonitor thread that ignores shutdown."""
+
+    def __init__(self, monitor_id, stuck):
+        self.monitor_id = monitor_id
+        self.stuck = stuck
+        self.shutdown_calls = 0
+        self.join_timeouts = []
+
+    def shutdown(self):
+        self.shutdown_calls += 1
+
+    def join(self, timeout=None):
+        self.join_timeouts.append(timeout)
+
+    def is_alive(self):
+        return self.stuck
+
+
+def cluster_with_stubs(stuck_ids, n=4, join_timeout=0.01):
+    config = PrototypeConfig(
+        scheduler="sparrow", n_monitors=n, join_timeout=join_timeout
+    )
+    cluster = PrototypeCluster(config)
+    cluster.monitors = [StuckMonitor(i, i in stuck_ids) for i in range(n)]
+    return cluster
+
+
+def test_shutdown_and_join_reports_leaked_monitors(caplog):
+    cluster = cluster_with_stubs(stuck_ids={1, 3})
+    with caplog.at_level("WARNING", logger="repro.runtime.engine"):
+        leaked = cluster.shutdown_and_join()
+    assert leaked == (1, 3)
+    assert cluster.leaked_monitors == (1, 3)
+    assert any("did not exit within" in r.message for r in caplog.records)
+    # every monitor was asked to stop and joined with the configured budget
+    for monitor in cluster.monitors:
+        assert monitor.shutdown_calls == 1
+        assert monitor.join_timeouts == [0.01]
+
+
+def test_shutdown_and_join_clean_exit_logs_nothing(caplog):
+    cluster = cluster_with_stubs(stuck_ids=set())
+    with caplog.at_level("WARNING", logger="repro.runtime.engine"):
+        assert cluster.shutdown_and_join() == ()
+    assert cluster.leaked_monitors == ()
+    assert not caplog.records
+
+
+def test_join_timeout_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        PrototypeConfig(join_timeout=0.0)
+
+
+def test_run_leaves_no_leaked_monitors():
+    config = PrototypeConfig(
+        scheduler="hawk", n_monitors=8, n_frontends=2, cutoff=0.05, timeout=30.0
+    )
+    cluster = PrototypeCluster(config)
+    cluster.run(small_trace())
+    assert cluster.leaked_monitors == ()
+    assert all(not m.is_alive() for m in cluster.monitors)
+
+
 def test_prototype_task_conservation():
     config = PrototypeConfig(
         scheduler="hawk", n_monitors=8, n_frontends=2, cutoff=0.05, timeout=30.0

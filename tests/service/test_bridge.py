@@ -1,0 +1,161 @@
+"""Scheduler bridge: live runs whose results equal a cold replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.service.event_store import EventStore
+from repro.service.models import RunConfig, Submission
+from repro.service.replay import replay
+from repro.service.scheduler_bridge import SchedulerBridge
+
+#: Virtual seconds per wall second: fast enough that a 20-job test run
+#: drains in well under a second of wall time.
+SCALE = 200.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    with EventStore(str(tmp_path / "events.db")) as s:
+        yield s
+
+
+def run_jobs(store, config, n_jobs=20, tasks=(0.02, 0.05, 0.03)):
+    bridge = SchedulerBridge(config, store, time_scale=SCALE).start()
+    try:
+        for i in range(n_jobs):
+            bridge.submit(Submission(tasks=tuple(tasks)))
+        assert bridge.drain(timeout=30.0)
+    finally:
+        assert bridge.stop(timeout=30.0)
+    return bridge
+
+
+@pytest.mark.parametrize("policy", ["hawk", "sparrow", "sparrow-batch"])
+def test_live_result_equals_cold_replay(store, policy, tmp_path):
+    config = RunConfig(policy=policy, n_workers=20, cutoff=0.1)
+    bridge = run_jobs(store, config)
+    live = bridge.result()
+    cold = replay(store, config.run_id).result(config)
+    assert live == cold
+    assert len(live.jobs) == 20
+    assert [r.job_id for r in live.jobs] == list(range(20))
+    assert all(r.completion_time >= r.submit_time for r in live.jobs)
+
+
+def test_every_lifecycle_kind_is_persisted(store):
+    # cutoff below the mean task duration: jobs are long, so hawk routes
+    # them through the centralized path and the short partition steals.
+    config = RunConfig(
+        policy="hawk", n_workers=8, cutoff=0.01, short_partition_fraction=0.25
+    )
+    run_jobs(store, config, n_jobs=12, tasks=(0.05,) * 4)
+    kinds = {e.kind for e in store.events(config.run_id)}
+    assert {"submitted", "queued", "started", "task-completed", "completed"} \
+        <= kinds
+
+
+def test_submitted_events_carry_the_classification(store):
+    config = RunConfig(policy="sparrow", n_workers=8, cutoff=0.04)
+    run_jobs(store, config, n_jobs=4, tasks=(0.06, 0.06))
+    submitted = [
+        e for e in store.events(config.run_id) if e.kind == "submitted"
+    ]
+    assert len(submitted) == 4
+    for event in submitted:
+        assert event.payload["true_class"] == "long"
+        assert event.payload["num_tasks"] == 2
+        assert event.payload["recv"] >= 0.0
+
+
+def test_client_estimate_overrides_the_engine_estimator(store):
+    config = RunConfig(policy="sparrow", n_workers=8, cutoff=0.04)
+    bridge = SchedulerBridge(config, store, time_scale=SCALE).start()
+    try:
+        # true mean 0.02 (short) but the client claims 0.08 (long)
+        bridge.submit(Submission(tasks=(0.02, 0.02), estimate=0.08))
+        assert bridge.drain(timeout=30.0)
+    finally:
+        bridge.stop(timeout=30.0)
+    (record,) = bridge.result().jobs
+    assert record.estimated_task_duration == 0.08
+    assert record.scheduled_class.value == "long"
+    assert record.true_class.value == "short"
+
+
+def test_checkpoint_and_compaction_preserve_replay(store):
+    config = RunConfig(policy="hawk", n_workers=20, cutoff=0.1)
+    bridge = run_jobs(store, config)
+    live = bridge.result()
+    compacted = bridge.checkpoint(compact=True)
+    assert compacted > 0
+    assert store.event_count(config.run_id) == 0
+    assert replay(store, config.run_id).result(config) == live
+
+
+def test_stop_without_start_is_a_noop(store):
+    bridge = SchedulerBridge(RunConfig(policy="sparrow"), store)
+    assert bridge.stop() is True
+
+
+def test_stats_and_latencies(store):
+    config = RunConfig(policy="sparrow", n_workers=20, cutoff=0.1)
+    bridge = run_jobs(store, config, n_jobs=10)
+    stats = bridge.stats()
+    assert stats == {
+        "submitted": 10,
+        "injected": 10,
+        "completed": 10,
+        "in_flight": 0,
+    }
+    latencies = bridge.latencies()
+    assert len(latencies) == 10
+    assert all(lat >= 0.0 for lat in latencies)
+
+
+def test_two_configs_share_one_store_without_mixing(store):
+    hawk = RunConfig(policy="hawk", n_workers=20, cutoff=0.1)
+    sparrow = RunConfig(policy="sparrow", n_workers=20, cutoff=0.1)
+    assert hawk.run_id != sparrow.run_id
+    b1 = run_jobs(store, hawk, n_jobs=8)
+    b2 = run_jobs(store, sparrow, n_jobs=8)
+    assert b1.result() == replay(store, hawk.run_id).result(hawk)
+    assert b2.result() == replay(store, sparrow.run_id).result(sparrow)
+    assert len(store.run_configs()) == 2
+
+
+def test_non_serving_policy_is_rejected():
+    with pytest.raises(ConfigurationError, match="serves_online=False"):
+        RunConfig(policy="omniscient")
+
+
+def test_run_config_digest_is_content_addressed():
+    a = RunConfig(policy="hawk", seed=0)
+    b = RunConfig(policy="hawk", seed=0)
+    c = RunConfig(policy="hawk", seed=1)
+    assert a.run_id == b.run_id
+    assert a.run_id != c.run_id
+    assert a.run_id.startswith("hawk-")
+
+
+def test_submission_validation():
+    with pytest.raises(ConfigurationError):
+        Submission(tasks=())
+    with pytest.raises(ConfigurationError):
+        Submission(tasks=(-1.0,))
+    with pytest.raises(ConfigurationError):
+        Submission(tasks=(0.1,), estimate=float("nan"))
+    with pytest.raises(ConfigurationError):
+        Submission(tasks=(0.1,), tenant="")
+
+
+def test_bridge_rejects_bad_knobs(store):
+    config = RunConfig(policy="sparrow")
+    with pytest.raises(ConfigurationError, match="time_scale"):
+        SchedulerBridge(config, store, time_scale=0.0)
+    with pytest.raises(ConfigurationError, match="idle_poll"):
+        SchedulerBridge(config, store, idle_poll=0.0)
+    bridge = SchedulerBridge(config, store)
+    with pytest.raises(ConfigurationError, match="not started"):
+        bridge.submit(Submission(tasks=(0.1,)))

@@ -1,0 +1,184 @@
+"""End-to-end transport tests: HTTP and the NDJSON socket.
+
+One :class:`ServiceThread` per test module would share bridge state
+between tests, so each test boots its own service on ephemeral ports —
+startup is tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.api import ServiceState
+from repro.service.event_store import EventStore
+from repro.service.models import ServiceConfig, canonical_json
+from repro.service.server import ServiceThread
+
+SCALE = 200.0
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = EventStore(str(tmp_path / "events.db"))
+    state = ServiceState(store, time_scale=SCALE)
+    config = ServiceConfig(
+        db_path=store.path, http_port=0, socket_port=0, drain_timeout=30.0
+    )
+    with ServiceThread(state, config) as thread:
+        yield thread
+    store.close()
+
+
+def http(service, method, path, payload=None):
+    body = canonical_json(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{service.http_port}{path}",
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def job_payload(policy="hawk", tasks=(0.02, 0.04)):
+    return {
+        "policy": policy,
+        "n_workers": 16,
+        "cutoff": 0.1,
+        "tasks": list(tasks),
+    }
+
+
+def test_http_submit_drain_and_replay_check(service):
+    status, payload = http(service, "GET", "/healthz")
+    assert status == 200 and payload["status"] == "ok"
+
+    run_id = None
+    for i in range(10):
+        status, payload = http(service, "POST", "/jobs", job_payload())
+        assert status == 202
+        assert payload["job_id"] == i
+        run_id = payload["run_id"]
+
+    status, payload = http(service, "POST", f"/runs/{run_id}/drain")
+    assert status == 200 and payload["drained"]
+    assert len(payload["result"]["jobs"]) == 10
+
+    status, payload = http(service, "POST", f"/runs/{run_id}/replay-check")
+    assert status == 200
+    assert payload["match"] is True
+    assert payload["live_jobs"] == payload["replayed_jobs"] == 10
+
+    status, payload = http(service, "GET", "/runs")
+    assert status == 200
+    (row,) = payload["runs"]
+    assert row["run_id"] == run_id and row["live"]
+
+    status, payload = http(service, "GET", f"/runs/{run_id}")
+    assert status == 200
+    assert payload["config"]["policy"] == "hawk"
+    assert payload["stats"]["completed"] == 10
+    assert len(payload["latencies"]) == 10
+
+    status, payload = http(
+        service, "GET", f"/runs/{run_id}/result?drain=0"
+    )
+    assert status == 200 and len(payload["result"]["jobs"]) == 10
+
+
+def test_http_checkpoint_compacts_on_request(service):
+    status, payload = http(service, "POST", "/jobs", job_payload("sparrow"))
+    run_id = payload["run_id"]
+    http(service, "POST", f"/runs/{run_id}/drain")
+    status, payload = http(service, "POST", f"/runs/{run_id}/checkpoint")
+    assert status == 200 and payload["compacted_events"] == 0
+    status, payload = http(
+        service, "POST", f"/runs/{run_id}/checkpoint?compact=1"
+    )
+    assert status == 200 and payload["compacted_events"] > 0
+    status, payload = http(service, "POST", f"/runs/{run_id}/replay-check")
+    assert payload["match"] is True
+
+
+def test_http_client_errors(service):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http(service, "POST", "/jobs", job_payload(policy="no-such-policy"))
+    assert excinfo.value.code == 400
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http(service, "POST", "/jobs", job_payload(policy="omniscient"))
+    assert excinfo.value.code == 400
+    assert "serves_online" in json.loads(excinfo.value.read())["error"]
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http(service, "GET", "/runs/nope")
+    assert excinfo.value.code == 400
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http(service, "GET", "/no/such/route")
+    assert excinfo.value.code == 404
+
+
+def ndjson(service, *payloads):
+    responses = []
+    with socket.create_connection(
+        ("127.0.0.1", service.socket_port), timeout=30
+    ) as sock:
+        handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+        for payload in payloads:
+            handle.write(canonical_json(payload) + "\n")
+            handle.flush()
+            responses.append(json.loads(handle.readline()))
+        handle.close()
+    return responses
+
+
+def test_ndjson_submit_drain_and_replay_check(service):
+    submits = [job_payload("sparrow") for _ in range(8)]
+    responses = ndjson(service, *submits)
+    assert all(r["ok"] for r in responses)
+    assert [r["job_id"] for r in responses] == list(range(8))
+    run_id = responses[0]["run_id"]
+    assert len({r["run_id"] for r in responses}) == 1
+
+    (drained,) = ndjson(service, {"op": "drain", "run_id": run_id})
+    assert drained["ok"] and drained["drained"]
+    assert len(drained["result"]["jobs"]) == 8
+
+    (check,) = ndjson(service, {"op": "replay-check", "run_id": run_id})
+    assert check["ok"] and check["match"] is True
+
+    (health,) = ndjson(service, {"op": "health"})
+    assert health["ok"] and health["live_runs"] == 1
+
+    (runs,) = ndjson(service, {"op": "runs"})
+    assert runs["ok"] and len(runs["runs"]) == 1
+
+
+def test_ndjson_error_responses_keep_the_connection_usable(service):
+    bad_policy = job_payload(policy="no-such-policy")
+    responses = ndjson(
+        service,
+        bad_policy,
+        {"op": "mystery"},
+        {"op": "replay-check", "run_id": "nope"},
+        job_payload("hawk"),
+    )
+    assert [r["ok"] for r in responses] == [False, False, False, True]
+    assert "unknown policy" in responses[0]["error"] or "policy" in responses[0]["error"]
+    assert "unknown op" in responses[1]["error"]
+
+
+def test_same_config_lands_in_the_same_run_across_transports(service):
+    (via_socket,) = ndjson(service, job_payload("hawk"))
+    _, via_http = http(service, "POST", "/jobs", job_payload("hawk"))
+    assert via_socket["run_id"] == via_http["run_id"]
+    run_id = via_http["run_id"]
+    (drained,) = ndjson(service, {"op": "drain", "run_id": run_id})
+    assert len(drained["result"]["jobs"]) == 2
