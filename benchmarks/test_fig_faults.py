@@ -1,0 +1,40 @@
+"""Failure sweep: graceful degradation of Hawk vs the baselines.
+
+Committed at quick scale (like the scenario figure): the file is the
+acceptance proof for fault injection end to end — FaultPlan -> engine
+chaos hooks -> policy degradation -> figure — and quick scale keeps
+whole-zoo regeneration cheap.
+"""
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig_faults
+
+
+def test_fig_faults(benchmark):
+    result = run_figure(
+        benchmark, fig_faults.run, "fig_faults.txt", scale="quick"
+    )
+    rows = {(row[0], row[1]): row for row in result.rows}
+    levels = sorted({row[0] for row in result.rows})
+    worst = levels[-1]
+    assert levels[0] == 0.0 and worst > 0.0
+
+    # Fault-free rows are genuinely fault-free: no task ran twice.
+    for policy in fig_faults.POLICIES:
+        assert rows[(0.0, policy)][5] == 0.0
+
+    # The Hawk-specific payoff: short-job p50 under the worst failure
+    # level degrades strictly less than the centralized-only baseline's.
+    def degradation(policy):
+        return rows[(worst, policy)][2] / rows[(0.0, policy)][2]
+
+    assert degradation("hawk") < degradation("centralized")
+    # And not by a technicality: the centralized outage visibly stalls
+    # short jobs while hawk's distributed short path stays near-flat.
+    assert degradation("centralized") > 1.5
+    assert degradation("hawk") < 1.25
+
+    # Crashes happened and were recovered from at every faulted level.
+    for level in levels[1:]:
+        for policy in fig_faults.POLICIES:
+            assert rows[(level, policy)][5] > 0, (level, policy)

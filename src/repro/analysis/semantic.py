@@ -174,7 +174,15 @@ def _runspec_field_variants() -> dict[str, Callable]:
             params={**spec.params, "probe_ratio": spec.params["probe_ratio"] + 1}
         ),
         "estimate_tag": lambda spec: spec.with_(estimate_tag="reg002-variant"),
+        "faults": _faults_variant,
     }
+
+
+def _faults_variant(spec):
+    """A non-empty FaultPlan (empty plans normalize to None by design)."""
+    from repro.cluster.faults import FaultPlan
+
+    return spec.with_(faults=FaultPlan.of(crash_fraction=0.1))
 
 
 def check_cache_key_completeness(root: Path) -> list[Finding]:

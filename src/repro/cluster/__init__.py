@@ -7,6 +7,7 @@ parallel; a job completes when its last task finishes.
 
 from repro.cluster.cluster import Cluster, Partition
 from repro.cluster.engine import ClusterEngine, EngineConfig
+from repro.cluster.faults import FaultInjector, FaultPlan
 from repro.cluster.job import Job, JobClass, classify
 from repro.cluster.records import JobRecord, RunResult, UtilizationSample
 from repro.cluster.task import Task, TaskState
@@ -16,6 +17,8 @@ __all__ = [
     "Cluster",
     "ClusterEngine",
     "EngineConfig",
+    "FaultInjector",
+    "FaultPlan",
     "Job",
     "JobClass",
     "JobRecord",

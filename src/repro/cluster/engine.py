@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultInjector, FaultPlan
 from repro.cluster.job import Job
 from repro.cluster.records import (
     JobRecord,
@@ -55,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
 _IDLE = WorkerState.IDLE
 _BUSY = WorkerState.BUSY
 _WAITING = WorkerState.WAITING
+_DEAD = WorkerState.DEAD
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,6 +115,13 @@ class ClusterEngine:
         self._jobs_done = 0
         self._done = False
         self._utilization: list[UtilizationSample] = []
+        #: Fault-injection layer; ``None`` (the default) leaves every hot
+        #: path on the historical no-fault code, byte-identical to before
+        #: faults existed (asserted by tests/cluster/test_faults.py).
+        self._faults: FaultInjector | None = None
+        #: True while an injected centralized-scheduler outage is active;
+        #: policies with a centralized component consult this on submit.
+        self.centralized_down = False
         scheduler.bind(self)
         if stealing is not None:
             stealing.bind(self)
@@ -129,7 +138,37 @@ class ClusterEngine:
         return self._done
 
     def _refresh_batching(self) -> None:
-        self._batch = self.transport_batching and self.network.jitter == 0.0
+        self._batch = (
+            self.transport_batching
+            and self.network.jitter == 0.0
+            and (self._faults is None or not self._faults.messages_active)
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.cluster.faults).
+    # ------------------------------------------------------------------
+    def attach_faults(self, plan: FaultPlan) -> None:
+        """Arm a :class:`FaultPlan` on this engine (before the run starts).
+
+        An empty plan is a no-op; a non-empty one installs the injector
+        whose hooks the delivery/start/finish paths consult.  Message
+        faults force per-message transport (each message carries its own
+        perturbation), which :meth:`_refresh_batching` accounts for.
+        """
+        if plan.is_empty:
+            return
+        if self.sim.events_fired or self.sim.now:
+            raise SimulationError("faults must be attached before the run starts")
+        self._faults = FaultInjector(plan, self)
+        self._refresh_batching()
+
+    def _msg_delay(self) -> float:
+        """One message's network delay, plus any injected perturbation."""
+        delay = self.network.sample()
+        faults = self._faults
+        if faults is not None:
+            delay = faults.perturb_delay(delay)
+        return delay
 
     # ------------------------------------------------------------------
     # Placement API (called by scheduler policies).
@@ -137,7 +176,7 @@ class ClusterEngine:
     def place_probe(self, worker_id: int, job: Job, frontend: "ProbeFrontend") -> None:
         """Send a late-binding probe to ``worker_id`` (one network delay)."""
         entry = ProbeEntry(job, frontend)
-        self.sim.schedule(self.network.sample(), self._deliver_entry, worker_id, entry)
+        self.sim.schedule(self._msg_delay(), self._deliver_entry, worker_id, entry)
 
     def place_probes(
         self, worker_ids: Sequence[int], job: Job, frontend: "ProbeFrontend"
@@ -159,7 +198,7 @@ class ClusterEngine:
     def place_task(self, worker_id: int, task: Task) -> None:
         """Send a concrete task to ``worker_id`` (one network delay)."""
         entry = TaskEntry(task)
-        self.sim.schedule(self.network.sample(), self._deliver_entry, worker_id, entry)
+        self.sim.schedule(self._msg_delay(), self._deliver_entry, worker_id, entry)
 
     def place_tasks(self, assignments: Sequence[tuple[int, Task]]) -> None:
         """Send ``(worker_id, task)`` pairs, one network delay each.
@@ -237,8 +276,13 @@ class ClusterEngine:
         sync = self._sync_steal_hint
         start_task = self._start_task
         slot_long = self.cluster.slot_long
+        faults = self._faults
+        dead = faults.dead if faults is not None else None
         pairs: list[tuple[Worker, ProbeEntry]] | None = None
         for worker_id, entry in zip(worker_ids, entries):
+            if dead is not None and dead[worker_id]:
+                self._redirect_entry(entry)
+                continue
             worker = workers[worker_id]
             if worker.state is _IDLE and not worker.queue:
                 if entry.is_task:
@@ -266,7 +310,7 @@ class ClusterEngine:
             else:  # pragma: no cover - batch delivery implies batching on
                 for worker, probe in pairs:
                     self.sim.schedule(
-                        self.network.sample(),
+                        self._msg_delay(),
                         self._probe_request_arrives,
                         worker,
                         probe,
@@ -284,7 +328,26 @@ class ClusterEngine:
         for worker, entry in pairs:
             respond(worker, entry, entry.frontend.next_task())
 
+    def _redirect_entry(self, entry: QueueEntry, extra_delay: float = 0.0) -> None:
+        """Re-send an entry whose target worker is dead to a live one.
+
+        Models the sender noticing the failed node and re-routing: the
+        entry pays one more (possibly perturbed) network delay.  Long
+        entries stay in the general partition.
+        """
+        faults = self._faults
+        assert faults is not None
+        faults.messages_redirected += 1
+        target = faults.pick_live_target(entry.is_long)
+        self.sim.schedule(
+            extra_delay + self._msg_delay(), self._deliver_entry, target, entry
+        )
+
     def _deliver_entry(self, worker_id: int, entry: QueueEntry) -> None:
+        faults = self._faults
+        if faults is not None and faults.dead[worker_id]:
+            self._redirect_entry(entry)
+            return
         worker = self.cluster.workers[worker_id]
         if worker.state is _IDLE and not worker.queue:
             # Same fast path as batched delivery: straight into the slot.
@@ -339,7 +402,7 @@ class ClusterEngine:
             )
         else:
             self.sim.schedule(
-                network.sample(), self._probe_request_arrives, worker, entry
+                self._msg_delay(), self._probe_request_arrives, worker, entry
             )
 
     def _probe_round_trip(self, worker: Worker, entry: ProbeEntry) -> None:
@@ -351,13 +414,20 @@ class ClusterEngine:
         """The task request reached the scheduler; decide task-or-cancel."""
         task = entry.frontend.next_task()
         self.sim.schedule(
-            self.network.sample(), self._probe_response_arrives, worker, entry, task
+            self._msg_delay(), self._probe_response_arrives, worker, entry, task
         )
 
     def _probe_response_arrives(
         self, worker: Worker, entry: ProbeEntry, task: Task | None
     ) -> None:
         if worker.state is not _WAITING or worker.current_entry is not entry:
+            faults = self._faults
+            if faults is not None:
+                # The worker crashed (and possibly restarted) while this
+                # round trip was in flight; a handed-out task is salvaged
+                # onto a live worker, a cancel is simply dropped.
+                faults.salvage_probe_response(entry, task)
+                return
             raise SimulationError(
                 f"worker {worker.worker_id} received a stale probe response"
             )
@@ -382,7 +452,17 @@ class ClusterEngine:
         task.start(worker.worker_id, self.sim.now)
         self._busy += 1
         self._sync_steal_hint(worker)
-        self.sim.schedule(task.duration, self._task_finished, worker, task)
+        faults = self._faults
+        if faults is None:
+            self.sim.schedule(task.duration, self._task_finished, worker, task)
+        else:
+            self.sim.schedule(
+                task.duration * faults.slowdown[worker.worker_id],
+                self._task_finished_checked,
+                worker,
+                task,
+                task.attempt,
+            )
 
     def _task_finished(self, worker: Worker, task: Task) -> None:
         task.finish(self.sim.now)
@@ -399,9 +479,84 @@ class ClusterEngine:
                 self._done = True
         self._worker_try_start(worker)
 
+    def _task_finished_checked(self, worker: Worker, task: Task, attempt: int) -> None:
+        """Fault-mode completion: drop events from a pre-crash execution.
+
+        When the worker crashed mid-task the task was re-queued (bumping
+        ``task.attempt``) and the slot was cleared, so the completion event
+        of the lost execution must be ignored, not double-counted.
+        """
+        if worker.current_task is not task or task.attempt != attempt:
+            return
+        self._task_finished(worker, task)
+
     def _worker_went_idle(self, worker: Worker) -> None:
         if self.stealing is not None and not self._done:
             self.stealing.on_worker_idle(worker)
+
+    # ------------------------------------------------------------------
+    # Fault handlers (armed by FaultInjector.schedule()).
+    # ------------------------------------------------------------------
+    def _worker_crash(self, worker_id: int) -> None:
+        """One worker dies: lose its slot, redistribute its queue.
+
+        A running task is re-queued for re-execution on a live worker
+        after ``detect_delay`` (plus one message delay for the dispatch);
+        a waiting probe's reservation evaporates — its in-flight response
+        is salvaged on arrival (:meth:`_probe_response_arrives`).  Queued
+        entries are redirected to live workers, long entries staying in
+        the general partition.
+        """
+        faults = self._faults
+        assert faults is not None
+        worker = self.cluster.workers[worker_id]
+        faults.dead[worker_id] = 1
+        faults.crashes += 1
+        if self.stealing is not None:
+            self.stealing.on_worker_dead(worker)
+        if worker.state is _BUSY:
+            task = worker.current_task
+            assert task is not None
+            self._busy -= 1
+            faults.requeue_task(task)
+            entry = TaskEntry(task)
+            target = faults.pick_live_target(entry.is_long)
+            self.sim.schedule(
+                faults.detect_delay + self._msg_delay(),
+                self._deliver_entry,
+                target,
+                entry,
+            )
+        worker.current_entry = None
+        worker.current_task = None
+        self.cluster.slot_long[worker_id] = 0
+        if worker.queue:
+            entries = worker.remove_range(0, len(worker.queue))
+            faults.entries_redistributed += len(entries)
+            for queued in entries:
+                self._redirect_entry(queued, extra_delay=faults.detect_delay)
+        worker.state = _DEAD
+        self._sync_steal_hint(worker)
+        if faults.restart_delay > 0.0:
+            self.sim.schedule(faults.restart_delay, self._worker_restart, worker_id)
+
+    def _worker_restart(self, worker_id: int) -> None:
+        """A crashed worker rejoins, empty and idle."""
+        faults = self._faults
+        assert faults is not None
+        faults.dead[worker_id] = 0
+        faults.restarts += 1
+        worker = self.cluster.workers[worker_id]
+        worker.state = _IDLE
+        worker.steal_backoff = 0.0
+        self._worker_try_start(worker)
+
+    def _centralized_outage_begins(self) -> None:
+        self.centralized_down = True
+
+    def _centralized_outage_ends(self) -> None:
+        self.centralized_down = False
+        self.scheduler.on_centralized_restored()
 
     # ------------------------------------------------------------------
     # Work-stealing support (called by the stealing policy).
@@ -493,6 +648,8 @@ class ClusterEngine:
             jobs.append(job)
         self._jobs_total = len(jobs)
         self._refresh_batching()
+        if self._faults is not None:
+            self._faults.schedule()
         for job in jobs:
             self.sim.schedule_at(job.submit_time, self.scheduler.on_job_submit, job)
         self.sim.schedule_at(
@@ -520,6 +677,7 @@ class ClusterEngine:
                 scheduled_class=j.scheduled_class,
                 true_class=j.true_class,
                 stolen_tasks=j.stolen_tasks,
+                retried_tasks=j.retried_tasks,
             )
             for j in jobs
         )

@@ -59,6 +59,7 @@ class Job:
         "finished_tasks",
         "completion_time",
         "stolen_tasks",
+        "retried_tasks",
     )
 
     def __init__(
@@ -81,6 +82,7 @@ class Job:
         self.finished_tasks = 0
         self.completion_time: float | None = None
         self.stolen_tasks = 0
+        self.retried_tasks = 0
 
     @property
     def num_tasks(self) -> int:

@@ -21,6 +21,21 @@ class JobRecord:
     scheduled_class: JobClass
     true_class: JobClass
     stolen_tasks: int
+    #: Task re-executions forced by injected worker crashes (0 without
+    #: fault injection; appended after PR 8, hence the default and the
+    #: pickle shim below).
+    retried_tasks: int = 0
+
+    def __setstate__(self, state: list[object]) -> None:
+        # Frozen-slots dataclasses pickle their state as the field-value
+        # list.  Run-cache pickles written before ``retried_tasks`` existed
+        # are one value short; missing trailing fields take their defaults
+        # so cached results stay loadable and equality-comparable.
+        names = self.__slots__
+        for name, value in zip(names, state):
+            object.__setattr__(self, name, value)
+        for name in names[len(state):]:
+            object.__setattr__(self, name, 0)
 
     @property
     def runtime(self) -> float:

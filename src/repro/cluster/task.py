@@ -35,6 +35,7 @@ class Task:
         "start_time",
         "finish_time",
         "was_stolen",
+        "attempt",
     )
 
     def __init__(self, job: "Job", index: int, duration: float) -> None:
@@ -48,6 +49,10 @@ class Task:
         self.start_time: float | None = None
         self.finish_time: float | None = None
         self.was_stolen = False
+        #: Execution attempt counter; bumped by :meth:`reset_for_retry` when
+        #: fault injection loses the running copy, so the engine can tell a
+        #: stale completion event from the live execution's.
+        self.attempt = 0
 
     def start(self, worker_id: int, now: float) -> None:
         if self.state is not TaskState.PENDING:
@@ -66,6 +71,22 @@ class Task:
             )
         self.state = TaskState.FINISHED
         self.finish_time = now
+
+    def reset_for_retry(self) -> None:
+        """Return a lost (worker-crashed) execution to the pending state.
+
+        The re-execution runs for the full true duration again; only the
+        final successful attempt records start/finish times.
+        """
+        if self.state is not TaskState.RUNNING:
+            raise SimulationError(
+                f"task {self.job.job_id}:{self.index} reset while {self.state}"
+            )
+        self.state = TaskState.PENDING
+        self.worker_id = None
+        self.start_time = None
+        self.attempt += 1
+        self.job.retried_tasks += 1
 
     @property
     def wait_time(self) -> float:

@@ -30,6 +30,7 @@ class WorkerState(enum.Enum):
     IDLE = "idle"
     BUSY = "busy"  # executing a task
     WAITING = "waiting"  # probe at head; awaiting the scheduler's response
+    DEAD = "dead"  # crashed by fault injection; ignores all traffic
 
 
 def find_first_short_group(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.cluster import ClusterEngine
+from repro.cluster.faults import FaultPlan
 from repro.cluster.records import RunResult
 from repro.core.errors import ConfigurationError
 from repro.schedulers import registry
@@ -58,6 +59,11 @@ class RunSpec:
     #: (required whenever ``estimate`` is set: callables have no stable
     #: content, so the tag is their cache-visible identity).
     estimate_tag: str = "exact"
+    #: Injected failures for this run (:mod:`repro.cluster.faults`).  An
+    #: empty plan normalizes to ``None``, and ``None`` is skipped by the
+    #: cache-key digest, so fault-free specs hash, compare and cache
+    #: exactly as they did before faults existed.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         # Raises ConfigurationError for unknown policies/params and
@@ -65,6 +71,12 @@ class RunSpec:
         object.__setattr__(
             self, "params", registry.validate_params(self.scheduler, self.params)
         )
+        faults = self.faults
+        if faults is not None and not isinstance(faults, FaultPlan):
+            faults = FaultPlan(params=faults)
+            object.__setattr__(self, "faults", faults)
+        if faults is not None and faults.is_empty:
+            object.__setattr__(self, "faults", None)
         if self.n_workers <= 0:
             raise ConfigurationError("n_workers must be positive")
         if self.estimate is not None and self.estimate_tag == "exact":

@@ -113,12 +113,15 @@ def spec_digest(spec: RunSpec) -> str:
     ``params`` is a :class:`~repro.schedulers.registry.FrozenParams`
     whose repr is canonically ordered with defaults filled, so the
     digest is independent of params-dict insertion order and of
-    omitted-vs-explicit defaults.
+    omitted-vs-explicit defaults.  ``faults`` joins the digest only when
+    a plan is present (RunSpec normalizes empty plans to ``None``), so
+    every fault-free key is byte-identical to its pre-fault form — no
+    ``CACHE_VERSION`` bump, no invalidated entries.
     """
     parts = [
         f"{f.name}={getattr(spec, f.name)!r}"
         for f in fields(spec)
-        if f.compare
+        if f.compare and not (f.name == "faults" and spec.faults is None)
     ]
     return ";".join(parts)
 

@@ -37,6 +37,14 @@ class SchedulerPolicy(abc.ABC):
     def on_job_submit(self, job: "Job") -> None:
         """Place the job's probes/tasks via the engine's placement API."""
 
+    def on_centralized_restored(self) -> None:
+        """Hook: an injected centralized-scheduler outage just ended.
+
+        Policies with a centralized component flush whatever they deferred
+        while the engine reported ``centralized_down``; purely distributed
+        policies (which never consult the flag) ignore it.
+        """
+
     def on_task_finish(self, task: "Task") -> None:
         """Status update: a task completed somewhere in the cluster.
 

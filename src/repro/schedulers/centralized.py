@@ -52,8 +52,10 @@ class CentralizedScheduler(SchedulerPolicy):
         self._version: dict[int, int] = {}
         self._heap: list[tuple[float, int, int]] = []
         self._estimate_of_task: dict[int, float] = {}  # id(task) -> estimate
+        self._deferred: list["Job"] = []
         self.jobs_scheduled = 0
         self.tasks_placed = 0
+        self.jobs_deferred = 0
 
     def on_bind(self) -> None:
         assert self.engine is not None
@@ -85,6 +87,22 @@ class CentralizedScheduler(SchedulerPolicy):
 
     # ------------------------------------------------------------------
     def on_job_submit(self, job: "Job") -> None:
+        assert self.engine is not None
+        if self.engine.centralized_down:
+            # Injected outage (repro.cluster.faults): the scheduler process
+            # is down, so submissions queue at it and are placed in arrival
+            # order the instant it comes back.
+            self._deferred.append(job)
+            self.jobs_deferred += 1
+            return
+        self._place(job)
+
+    def on_centralized_restored(self) -> None:
+        deferred, self._deferred = self._deferred, []
+        for job in deferred:
+            self._place(job)
+
+    def _place(self, job: "Job") -> None:
         assert self.engine is not None
         estimate = job.estimated_task_duration
         assignments = []

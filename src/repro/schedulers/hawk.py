@@ -69,24 +69,47 @@ class HawkScheduler(SchedulerPolicy):
             self._long: SchedulerPolicy = CentralizedScheduler(
                 partition=Partition.GENERAL
             )
+            # Degraded mode for injected centralized outages
+            # (repro.cluster.faults): long jobs fall back to distributed
+            # probes over the general partition instead of stalling behind
+            # the dead scheduler.  Constructed unconditionally — its named
+            # RNG stream is independent, so binding it is unobservable in
+            # fault-free runs.
+            self._long_fallback: SparrowScheduler | None = SparrowScheduler(
+                probe_ratio=probe_ratio,
+                partition=Partition.GENERAL,
+                rng_stream="hawk-long-degraded",
+            )
         else:
             self._long = SparrowScheduler(
                 probe_ratio=probe_ratio,
                 partition=Partition.GENERAL,
                 rng_stream="hawk-long",
             )
+            self._long_fallback = None
         self.short_jobs = 0
         self.long_jobs = 0
+        self.degraded_long_jobs = 0
 
     def on_bind(self) -> None:
         assert self.engine is not None
         self._short.bind(self.engine)
         self._long.bind(self.engine)
+        if self._long_fallback is not None:
+            self._long_fallback.bind(self.engine)
 
     def on_job_submit(self, job: "Job") -> None:
         if job.scheduled_class is JobClass.LONG:
             self.long_jobs += 1
-            self._long.on_job_submit(job)
+            if (
+                self._long_fallback is not None
+                and self.engine is not None
+                and self.engine.centralized_down
+            ):
+                self.degraded_long_jobs += 1
+                self._long_fallback.on_job_submit(job)
+            else:
+                self._long.on_job_submit(job)
         else:
             self.short_jobs += 1
             self._short.on_job_submit(job)
@@ -95,6 +118,9 @@ class HawkScheduler(SchedulerPolicy):
         # Status updates feed the centralized component's waiting times;
         # it ignores tasks it did not place (all short tasks).
         self._long.on_task_finish(task)
+
+    def on_centralized_restored(self) -> None:
+        self._long.on_centralized_restored()
 
     @property
     def long_component(self) -> SchedulerPolicy:

@@ -235,9 +235,13 @@ def build_engine(spec) -> ClusterEngine:
         WorkStealing(cap=params["steal_cap"]) if entry.uses_stealing else None
     )
     config = EngineConfig(cutoff=spec.cutoff, seed=spec.seed)
-    return ClusterEngine(
+    engine = ClusterEngine(
         cluster, scheduler, config, stealing=stealing, estimate=spec.estimate
     )
+    faults = getattr(spec, "faults", None)
+    if faults is not None:
+        engine.attach_faults(faults)
+    return engine
 
 
 def describe() -> str:

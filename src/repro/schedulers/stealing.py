@@ -391,6 +391,24 @@ class WorkStealing:
                 backoff, self._retry_fires, worker
             )
 
+    def on_worker_dead(self, worker: Worker) -> None:
+        """Engine callback: fault injection crashed ``worker``.
+
+        Drop it from the stealing machinery — cancel a pending retry and
+        unpark it, keeping the park-stack invariant (live flags on the
+        stack ≥ ``_parked_count``) intact so wake scans cannot underflow.
+        Its steal hint is cleared by the engine's hint sync after the
+        queue is drained, so it cannot be selected as a victim either.
+        """
+        if worker.pending_steal_retry is not None:
+            worker.pending_steal_retry.cancel()
+            worker.pending_steal_retry = None
+        cluster = self._cluster
+        assert cluster is not None
+        if cluster.parked[worker.worker_id]:
+            cluster.parked[worker.worker_id] = 0
+            self._parked_count -= 1
+
     def on_steal_work_appeared(self) -> None:
         """Engine callback: the cluster steal-hint tally went 0 -> 1.
 

@@ -26,8 +26,8 @@ Entry points
   event-store write throughput).
 """
 
-from repro.service.api import ServiceState
-from repro.service.event_store import EventStore
+from repro.service.api import DrainTimeout, ServiceState
+from repro.service.event_store import EventStore, StoreUnavailable
 from repro.service.models import (
     LifecycleEvent,
     RunConfig,
@@ -39,6 +39,7 @@ from repro.service.scheduler_bridge import SchedulerBridge
 from repro.service.server import ReproService, ServiceThread
 
 __all__ = [
+    "DrainTimeout",
     "EventStore",
     "LifecycleEvent",
     "ReproService",
@@ -48,6 +49,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceState",
     "ServiceThread",
+    "StoreUnavailable",
     "Submission",
     "replay",
 ]

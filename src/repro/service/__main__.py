@@ -63,6 +63,13 @@ async def _serve(service: ReproService) -> None:
         with contextlib.suppress(NotImplementedError):
             loop.add_signal_handler(signum, stop.set)
     await service.start()
+    for resumed in service.rehydrated["resumed"]:
+        print(
+            f"repro-serve: resumed run {resumed['run_id']} "
+            f"({resumed['jobs_resumed']} interrupted job(s), "
+            f"{resumed['jobs_already_done']} already complete)",
+            flush=True,
+        )
     print(
         f"repro-serve: http on {service.config.host}:{service.http_port}, "
         f"ndjson on {service.config.host}:{service.socket_port}, "

@@ -14,19 +14,39 @@ runs in the same store.
 
 All methods raise :class:`~repro.core.errors.ConfigurationError` for
 client mistakes (unknown policy, bad params, unknown run); transports
-map that to a 400-class response.
+map that to a 400-class response.  :class:`DrainTimeout` — a run whose
+in-flight jobs outlasted the caller's drain budget — maps to 504, and
+:class:`~repro.service.event_store.StoreUnavailable` to 503.
+
+Crash recovery
+--------------
+:meth:`ServiceState.rehydrate` (the server calls it on startup) scans
+the store for runs that still have jobs in flight — a previous process
+died mid-run — replays each one's log to its last committed event, and
+resumes it on a fresh bridge: completed jobs keep their replayed
+records, interrupted jobs are re-submitted from the task durations their
+``submitted`` events recorded.  Because the run id is the configuration
+digest, a client re-submitting after the crash lands on the resumed
+bridge rather than forking a second history.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Any, Mapping
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ReproError
 from repro.service.event_store import EventStore
 from repro.service.models import RunConfig, Submission
 from repro.service.replay import replay, result_to_json
 from repro.service.scheduler_bridge import SchedulerBridge
+
+logger = logging.getLogger(__name__)
+
+
+class DrainTimeout(ReproError):
+    """A run's in-flight jobs did not finish within the drain budget."""
 
 
 class ServiceState:
@@ -46,6 +66,71 @@ class ServiceState:
         self._bridges: dict[str, SchedulerBridge] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: Run ids whose bridge threads outlived the shutdown budget
+        #: (set by :meth:`close`, mirroring the prototype's
+        #: ``leaked_monitors``).
+        self.leaked_bridges: tuple[str, ...] = ()
+        #: Jobs re-submitted per resumed run (set by :meth:`rehydrate`).
+        self.rehydrated: dict[str, int] = {}
+
+    # -- crash recovery ---------------------------------------------------
+    def rehydrate(self) -> dict[str, Any]:
+        """Resume every stored run that still has jobs in flight.
+
+        For each registered run the log is replayed cold; a run whose
+        fold has pending jobs gets a fresh bridge seeded with that fold
+        (:meth:`SchedulerBridge.resume_from`), so the interrupted jobs
+        re-run under their original ids and the log simply continues.
+        Runs are resumed independently — one corrupt log is reported and
+        skipped, not allowed to block the rest.  Idempotent: a run with
+        a live bridge is left alone.
+        """
+        resumed: list[dict[str, Any]] = []
+        errors: list[str] = []
+        for run_id, config in self.store.run_configs().items():
+            try:
+                fold = replay(self.store, run_id)
+            except ReproError as exc:
+                logger.warning("rehydrate: replay of %s failed: %s", run_id, exc)
+                errors.append(run_id)
+                continue
+            if not fold.pending:
+                continue
+            with self._lock:
+                if self._closed or run_id in self._bridges:
+                    continue
+                if len(self._bridges) >= self.max_runs:
+                    logger.warning(
+                        "rehydrate: run limit reached (%d); %s stays cold",
+                        self.max_runs,
+                        run_id,
+                    )
+                    errors.append(run_id)
+                    continue
+                bridge = SchedulerBridge(
+                    config, self.store, time_scale=self.time_scale
+                )
+                jobs = bridge.resume_from(fold)
+                unrecoverable = fold.jobs_in_flight - jobs
+                bridge.start()
+                self._bridges[run_id] = bridge
+            self.rehydrated[run_id] = jobs
+            resumed.append(
+                {
+                    "run_id": run_id,
+                    "jobs_resumed": jobs,
+                    "jobs_unrecoverable": unrecoverable,
+                    "jobs_already_done": fold.jobs_completed,
+                }
+            )
+            logger.info(
+                "rehydrate: resumed %s with %d interrupted job(s) "
+                "(%d already complete in the log)",
+                run_id,
+                jobs,
+                fold.jobs_completed,
+            )
+        return {"resumed": resumed, "failed": errors}
 
     # -- operations ------------------------------------------------------
     def submit(self, payload: Mapping[str, Any]) -> dict[str, Any]:
@@ -96,7 +181,10 @@ class ServiceState:
     ) -> dict[str, Any]:
         """The run's folded result; optionally wait for in-flight jobs.
 
-        Blocking — transports call it off the event loop.
+        Blocking — transports call it off the event loop.  A drain that
+        outlasts ``timeout`` raises :class:`DrainTimeout` (the HTTP edge
+        maps it to 504) instead of quietly returning a partial result;
+        callers that want the partial fold pass ``drain=False``.
         """
         config = self._config_for(run_id)
         bridge = self._live_bridge(run_id)
@@ -104,6 +192,20 @@ class ServiceState:
         if bridge is not None:
             if drain:
                 drained = bridge.drain(timeout)
+                if not drained:
+                    in_flight = bridge.stats()["in_flight"]
+                    logger.warning(
+                        "run %s still has %d job(s) in flight after a "
+                        "%.1fs drain",
+                        run_id,
+                        in_flight,
+                        timeout,
+                    )
+                    raise DrainTimeout(
+                        f"run {run_id!r} still has {in_flight} job(s) in "
+                        f"flight after {timeout:.1f}s; retry later or pass "
+                        "drain=false for a partial result"
+                    )
             result = bridge.result()
         else:
             result = replay(self.store, run_id).result(config)
@@ -149,22 +251,40 @@ class ServiceState:
         return {
             "status": "ok",
             "live_runs": live,
+            "rehydrated_runs": len(self.rehydrated),
             "events": self.store.event_count(),
         }
 
     def close(self, timeout: float = 60.0) -> bool:
-        """Drain and stop every live bridge, then flush the store."""
+        """Drain and stop every live bridge, then flush the store.
+
+        A bridge whose thread outlives its join budget is recorded on
+        :attr:`leaked_bridges` and logged (mirroring the prototype's
+        leaked-monitor reporting) instead of hanging shutdown; its jobs
+        stay recoverable — the next start rehydrates them from the log.
+        """
         with self._lock:
             if self._closed:
-                return True
+                return not self.leaked_bridges
             self._closed = True
             bridges = list(self._bridges.values())
             self._bridges.clear()
-        clean = True
+        leaked = []
         for bridge in bridges:
-            clean = bridge.stop(timeout) and clean
+            if not bridge.stop(timeout):
+                leaked.append(bridge.run_id)
+        self.leaked_bridges = tuple(leaked)
+        if leaked:
+            logger.warning(
+                "%d bridge thread(s) did not drain within %.1fs of "
+                "shutdown (runs %s); their daemon threads were abandoned "
+                "and their jobs will be rehydrated on the next start",
+                len(leaked),
+                timeout,
+                leaked,
+            )
         self.store.flush()
-        return clean
+        return not leaked
 
     # -- internals -------------------------------------------------------
     def _bridge_for(self, config: RunConfig) -> SchedulerBridge:

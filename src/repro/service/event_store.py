@@ -26,6 +26,17 @@ compacted run starts from the snapshot and folds only the tail.
 The store is thread-safe: one connection guarded by an ``RLock``
 (appends come from the scheduler-bridge thread, reads from asyncio
 executor threads).
+
+Commit retry
+------------
+A concurrent reader holding the database (another process tailing the
+log, a stuck backup) can surface as ``sqlite3.OperationalError:
+database is locked`` even under WAL.  Every commit therefore runs
+through :meth:`EventStore._commit`, which retries with exponential
+backoff inside a bounded budget and raises the typed
+:class:`StoreUnavailable` once the budget is exhausted — callers (the
+HTTP edge maps it to 503) get a clean error instead of a raw sqlite
+exception mid-append.
 """
 
 from __future__ import annotations
@@ -36,8 +47,12 @@ import threading
 import time
 from typing import Any, Iterator, Mapping
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ReproError
 from repro.service.models import LifecycleEvent, RunConfig, canonical_json
+
+
+class StoreUnavailable(ReproError):
+    """The event store could not commit within its retry budget."""
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS events (
@@ -69,6 +84,11 @@ CREATE TABLE IF NOT EXISTS snapshots (
 class EventStore:
     """Append-only event log over one SQLite database file."""
 
+    #: Commit retry budget: attempts and base backoff (seconds, doubled
+    #: per retry).  Five attempts at 0.01s base waits ~0.15s worst case.
+    commit_retries: int = 5
+    commit_backoff: float = 0.01
+
     def __init__(self, path: str, flush_every: int = 256) -> None:
         if flush_every < 1:
             raise ConfigurationError("flush_every must be >= 1")
@@ -85,8 +105,35 @@ class EventStore:
         self._pending = 0
         self._appended = 0
         self._commits = 0
+        self._commit_retries_used = 0
         self._write_seconds = 0.0
         self._closed = False
+
+    def _commit(self) -> None:
+        """Commit with bounded retry; raises :class:`StoreUnavailable`.
+
+        Only ``database is locked`` / ``database is busy`` errors are
+        retried — anything else (corruption, disk full) re-raises
+        immediately.  Callers hold ``self._lock``.
+        """
+        delay = self.commit_backoff
+        for attempt in range(self.commit_retries):
+            try:
+                self._conn.commit()
+                self._commits += 1
+                return
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                self._commit_retries_used += 1
+                if attempt == self.commit_retries - 1:
+                    raise StoreUnavailable(
+                        f"event store {self.path!r} still locked after "
+                        f"{self.commit_retries} commit attempts: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay *= 2
 
     # -- write path ------------------------------------------------------
     def append(self, event: LifecycleEvent) -> int:
@@ -119,9 +166,8 @@ class EventStore:
             self._pending += 1
             self._appended += 1
             if self._pending >= self.flush_every:
-                self._conn.commit()
+                self._commit()
                 self._pending = 0
-                self._commits += 1
             self._write_seconds += time.perf_counter() - started
             return seq
 
@@ -130,9 +176,8 @@ class EventStore:
         with self._lock:
             if self._pending:
                 started = time.perf_counter()
-                self._conn.commit()
+                self._commit()
                 self._pending = 0
-                self._commits += 1
                 self._write_seconds += time.perf_counter() - started
 
     def register_run(self, config: RunConfig, created_w: float) -> None:
@@ -143,7 +188,7 @@ class EventStore:
                 "VALUES (?, ?, ?)",
                 (config.run_id, created_w, canonical_json(config.to_json())),
             )
-            self._conn.commit()
+            self._commit()
 
     # -- read path -------------------------------------------------------
     def events(
@@ -220,7 +265,7 @@ class EventStore:
                 "(run_id, upto_seq, created_w, state) VALUES (?, ?, ?, ?)",
                 (run_id, upto_seq, created_w, canonical_json(dict(state))),
             )
-            self._conn.commit()
+            self._commit()
 
     def latest_snapshot(
         self, run_id: str
@@ -251,7 +296,7 @@ class EventStore:
                 "DELETE FROM events WHERE run_id = ? AND seq <= ?",
                 (run_id, upto_seq),
             )
-            self._conn.commit()
+            self._commit()
             return cursor.rowcount
 
     # -- lifecycle / stats -----------------------------------------------
@@ -261,6 +306,7 @@ class EventStore:
             return {
                 "events_appended": float(self._appended),
                 "commits": float(self._commits),
+                "commit_retries": float(self._commit_retries_used),
                 "write_seconds": self._write_seconds,
             }
 

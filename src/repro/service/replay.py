@@ -52,6 +52,7 @@ def record_to_json(record: JobRecord) -> dict[str, Any]:
         "scheduled_class": record.scheduled_class.value,
         "true_class": record.true_class.value,
         "stolen_tasks": record.stolen_tasks,
+        "retried_tasks": record.retried_tasks,
     }
 
 
@@ -67,6 +68,8 @@ def record_from_json(data: Mapping[str, Any]) -> JobRecord:
         scheduled_class=JobClass(data["scheduled_class"]),
         true_class=JobClass(data["true_class"]),
         stolen_tasks=int(data["stolen_tasks"]),
+        # Absent in logs written before fault injection existed.
+        retried_tasks=int(data.get("retried_tasks", 0)),
     )
 
 
@@ -128,6 +131,7 @@ class RunFold:
                     scheduled_class=JobClass(submitted["scheduled_class"]),
                     true_class=JobClass(submitted["true_class"]),
                     stolen_tasks=int(event.payload.get("stolen_tasks", 0)),
+                    retried_tasks=int(event.payload.get("retried_tasks", 0)),
                 )
             )
 

@@ -195,7 +195,10 @@ class ObservedEngine(ClusterEngine):
                 KIND_COMPLETED,
                 job.completion_time,
                 job_id=job.job_id,
-                payload={"stolen_tasks": job.stolen_tasks},
+                payload={
+                    "stolen_tasks": job.stolen_tasks,
+                    "retried_tasks": job.retried_tasks,
+                },
             )
 
     # -- stealing --------------------------------------------------------
@@ -291,6 +294,61 @@ class SchedulerBridge:
         self._thread: threading.Thread | None = None
         self._t0 = 0.0
         store.register_run(config, created_w=time.time())
+
+    # -- crash recovery ---------------------------------------------------
+    def resume_from(self, fold: RunFold) -> int:
+        """Adopt a replayed fold and queue its in-flight jobs again.
+
+        Called before :meth:`start` when the service rehydrates a run
+        from the event store after a crash.  The bridge continues the
+        run's existing log: completed jobs keep their replayed records,
+        and every pending job whose ``submitted`` event carried its task
+        durations is re-submitted under its *original* job id — the
+        fresh ``submitted`` event supersedes the interrupted one in the
+        fold, so the live result and a cold replay of the log still
+        agree by construction.  New job ids continue past everything the
+        log has seen, keeping re-submission idempotent per job.  Pending
+        jobs logged before task durations were recorded cannot be re-run
+        and stay pending (they do not count toward completion).
+        Returns the number of jobs queued for re-submission.
+        """
+        if self._thread is not None:
+            raise ConfigurationError(
+                f"bridge for run {self.run_id} already started; resume "
+                "must happen before start"
+            )
+        resubmit: list[tuple[int, Submission]] = []
+        max_job_id = -1
+        for record in fold.records:
+            max_job_id = max(max_job_id, record.job_id)
+        for job_id, (_, payload) in sorted(fold.pending.items()):
+            max_job_id = max(max_job_id, job_id)
+            tasks = payload.get("tasks")
+            if not tasks:
+                continue
+            estimate = payload.get("estimate")
+            resubmit.append(
+                (
+                    job_id,
+                    Submission(
+                        tasks=tuple(float(d) for d in tasks),
+                        tenant=str(payload.get("tenant", "default")),
+                        estimate=(
+                            float(estimate) if estimate is not None else None
+                        ),
+                    ),
+                )
+            )
+        with self._mutex:
+            self._fold = fold
+            self._next_job_id = max_job_id + 1
+            self._injected = fold.jobs_completed
+            self._submitted = fold.jobs_completed + len(resubmit)
+            if resubmit:
+                self._all_done.clear()
+        for job_id, submission in resubmit:
+            self._queue.put((job_id, submission, 0.0))
+        return len(resubmit)
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "SchedulerBridge":
@@ -430,6 +488,9 @@ class SchedulerBridge:
         )
         payload: dict[str, Any] = {
             "tenant": submission.tenant,
+            # Individual durations make the submission replayable: crash
+            # recovery rebuilds the Submission from this event alone.
+            "tasks": list(submission.tasks),
             "num_tasks": spec.num_tasks,
             "true_mean": spec.mean_task_duration,
             "estimate": estimate,

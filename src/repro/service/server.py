@@ -39,7 +39,8 @@ from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.errors import ConfigurationError
-from repro.service.api import ServiceState
+from repro.service.api import DrainTimeout, ServiceState
+from repro.service.event_store import StoreUnavailable
 from repro.service.models import ServiceConfig
 
 _REASONS = {
@@ -50,7 +51,13 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+
+class _LineTooLong(Exception):
+    """A readline exceeded the stream buffer limit (mapped to 413)."""
 
 
 def _flag(query: dict[str, list[str]], name: str, default: bool) -> bool:
@@ -75,8 +82,18 @@ class ReproService:
         # (instead of being cancelled mid-readline).
         self._writers: set[asyncio.StreamWriter] = set()
 
+        #: Summary of the startup rehydration pass (see
+        #: :meth:`ServiceState.rehydrate`).
+        self.rehydrated: dict[str, Any] = {"resumed": [], "failed": []}
+
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
+        # Resume interrupted runs before accepting traffic, so a client
+        # re-submitting after a crash lands on the resumed bridge.
+        loop = asyncio.get_running_loop()
+        self.rehydrated = await loop.run_in_executor(
+            None, self.state.rehydrate
+        )
         limit = self.config.max_body_bytes + 1024
         self._http_server = await asyncio.start_server(
             self._handle_http,
@@ -95,7 +112,13 @@ class ReproService:
         self.http_port = self._http_server.sockets[0].getsockname()[1]
         self.socket_port = self._socket_server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
+    async def stop(self) -> bool:
+        """Close the listeners and drain the state.
+
+        Returns ``False`` when shutdown was dirty — some bridge thread
+        outlived the drain budget (the leaked runs are logged by
+        :meth:`ServiceState.close` and recoverable via rehydration).
+        """
         for server in (self._http_server, self._socket_server):
             if server is not None:
                 server.close()
@@ -109,21 +132,36 @@ class ReproService:
                 break
             await asyncio.sleep(0.01)
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(
+        clean: bool = await loop.run_in_executor(
             None,
             functools.partial(
                 self.state.close, timeout=self.config.drain_timeout
             ),
         )
+        return clean
 
     # -- HTTP ------------------------------------------------------------
+    @staticmethod
+    async def _readline(reader: asyncio.StreamReader) -> bytes:
+        """One line off the stream; over-limit lines raise typed.
+
+        ``StreamReader.readline`` reports a line longer than the stream
+        buffer limit as a bare ``ValueError`` — left alone it would kill
+        the handler without a response.  Re-raising as
+        :class:`_LineTooLong` lets the request loop answer a clean 413.
+        """
+        try:
+            return await reader.readline()
+        except ValueError as exc:
+            raise _LineTooLong(str(exc)) from exc
+
     async def _handle_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._writers.add(writer)
         try:
             while True:
-                request_line = await reader.readline()
+                request_line = await self._readline(reader)
                 if not request_line:
                     break
                 parts = request_line.decode("latin-1").split()
@@ -136,12 +174,19 @@ class ReproService:
                 method, target, version = parts
                 headers: dict[str, str] = {}
                 while True:
-                    line = await reader.readline()
+                    line = await self._readline(reader)
                     if line in (b"\r\n", b"\n", b""):
                         break
                     name, _, value = line.decode("latin-1").partition(":")
                     headers[name.strip().lower()] = value.strip()
-                length = int(headers.get("content-length", "0") or "0")
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._respond(
+                        writer, 400, {"error": "bad Content-Length"},
+                        keep=False,
+                    )
+                    break
                 if length > self.config.max_body_bytes:
                     await self._respond(
                         writer, 413, {"error": "body too large"}, keep=False
@@ -159,6 +204,19 @@ class ReproService:
                 await self._respond(writer, status, payload, keep=keep)
                 if not keep:
                     break
+        except _LineTooLong:
+            # An oversized request/header line: the rest of the stream
+            # is unframed garbage, so answer once and drop the
+            # connection instead of dying without a response.
+            try:
+                await self._respond(
+                    writer,
+                    413,
+                    {"error": "request line exceeds the size limit"},
+                    keep=False,
+                )
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
         except (
             asyncio.IncompleteReadError,
             ConnectionError,
@@ -207,6 +265,10 @@ class ReproService:
             return status, payload
         except ConfigurationError as exc:
             return 400, {"error": str(exc)}
+        except DrainTimeout as exc:
+            return 504, {"error": str(exc), "timeout": True}
+        except StoreUnavailable as exc:
+            return 503, {"error": str(exc)}
         except json.JSONDecodeError as exc:
             return 400, {"error": f"bad JSON body: {exc}"}
         except (KeyError, TypeError, ValueError) as exc:
@@ -336,6 +398,10 @@ class ReproService:
             return {"ok": True, **payload}
         except ConfigurationError as exc:
             return {"ok": False, "error": str(exc)}
+        except DrainTimeout as exc:
+            return {"ok": False, "error": str(exc), "timeout": True}
+        except StoreUnavailable as exc:
+            return {"ok": False, "error": str(exc), "unavailable": True}
         except (
             json.JSONDecodeError,
             KeyError,

@@ -3,14 +3,15 @@
 from __future__ import annotations
 
 import os
+import sqlite3
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-from repro.core.errors import ConfigurationError
-from repro.service.event_store import EventStore
+from repro.core.errors import ConfigurationError, ReproError
+from repro.service.event_store import EventStore, StoreUnavailable
 from repro.service.models import (
     KIND_COMPLETED,
     KIND_SUBMITTED,
@@ -153,3 +154,66 @@ def test_kinds_survive_storage(store):
     store.append(ev(kind=KIND_COMPLETED, payload={"stolen_tasks": 2}))
     kinds = [e.kind for e in store.events()]
     assert kinds == [KIND_SUBMITTED, KIND_COMPLETED]
+
+
+# -- commit retry under lock contention ---------------------------------------
+class FlakyConnection:
+    """Wraps a real connection; fails the first N commits as locked."""
+
+    def __init__(self, conn, failures, message="database is locked"):
+        self._conn = conn
+        self.failures = failures
+        self.message = message
+        self.commit_calls = 0
+
+    def commit(self):
+        self.commit_calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise sqlite3.OperationalError(self.message)
+        self._conn.commit()
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+@pytest.fixture
+def flaky_store(tmp_path):
+    with EventStore(str(tmp_path / "flaky.db")) as s:
+        s.commit_retries = 3
+        s.commit_backoff = 0.001
+        yield s
+
+
+def test_transient_lock_is_retried_and_counted(flaky_store):
+    flaky_store._conn = FlakyConnection(flaky_store._conn, failures=2)
+    flaky_store.append(ev(job_id=0))
+    flaky_store.flush()
+    assert flaky_store._conn.commit_calls == 3  # 2 failures + 1 success
+    assert flaky_store.stats()["commit_retries"] == 2
+    assert flaky_store.event_count() == 1
+
+
+def test_persistent_lock_raises_store_unavailable(flaky_store):
+    flaky_store._conn = FlakyConnection(flaky_store._conn, failures=99)
+    flaky_store.append(ev(job_id=0))
+    with pytest.raises(StoreUnavailable) as excinfo:
+        flaky_store.flush()
+    assert "still locked after 3" in str(excinfo.value)
+    assert isinstance(excinfo.value, ReproError)  # transports map it to 503
+    assert flaky_store._conn.commit_calls == 3
+
+    # The lock clearing later lets the same store finish the write.
+    flaky_store._conn.failures = 0
+    flaky_store.flush()
+    assert flaky_store.event_count() == 1
+
+
+def test_non_lock_errors_are_not_swallowed(flaky_store):
+    flaky_store._conn = FlakyConnection(
+        flaky_store._conn, failures=1, message="disk I/O error"
+    )
+    flaky_store.append(ev(job_id=0))
+    with pytest.raises(sqlite3.OperationalError):
+        flaky_store.flush()
+    assert flaky_store._conn.commit_calls == 1  # no retry on foreign errors

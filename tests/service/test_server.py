@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 import urllib.error
 import urllib.request
 
@@ -123,6 +124,118 @@ def test_http_client_errors(service):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         http(service, "GET", "/no/such/route")
     assert excinfo.value.code == 404
+
+
+@pytest.fixture
+def tiny_service(tmp_path):
+    """A service with the smallest legal body cap and a tiny drain budget."""
+    store = EventStore(str(tmp_path / "events.db"))
+    state = ServiceState(store, time_scale=SCALE)
+    config = ServiceConfig(
+        db_path=store.path,
+        http_port=0,
+        socket_port=0,
+        max_body_bytes=1024,
+        drain_timeout=0.25,
+    )
+    with ServiceThread(state, config) as thread:
+        yield thread
+    store.close()
+
+
+def raw_http(service, data, timeout=30):
+    """Push raw bytes at the HTTP port and return everything sent back."""
+    with socket.create_connection(
+        ("127.0.0.1", service.http_port), timeout=timeout
+    ) as sock:
+        sock.sendall(data)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def test_http_oversized_request_line_gets_413(tiny_service):
+    # No newline anywhere: readline overruns the stream limit, which
+    # used to kill the handler without any response at all.
+    response = raw_http(tiny_service, b"GET /" + b"a" * 8192)
+    head, _, body = response.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 413 ")
+    assert "size limit" in json.loads(body)["error"]
+
+    # The listener survives oversized clients: a normal request works.
+    status, payload = http(tiny_service, "GET", "/healthz")
+    assert status == 200 and payload["status"] == "ok"
+
+
+def test_http_oversized_body_gets_413(tiny_service):
+    big = job_payload(tasks=[0.02] * 300)  # > 1024 bytes of JSON
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http(tiny_service, "POST", "/jobs", big)
+    assert excinfo.value.code == 413
+    assert "too large" in json.loads(excinfo.value.read())["error"]
+
+
+def test_http_bad_content_length_gets_400(tiny_service):
+    response = raw_http(
+        tiny_service,
+        b"POST /jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+    )
+    assert response.startswith(b"HTTP/1.1 400 ")
+    assert b"Content-Length" in response
+
+
+def test_ndjson_oversized_line_reports_before_closing(tiny_service):
+    with socket.create_connection(
+        ("127.0.0.1", tiny_service.socket_port), timeout=30
+    ) as sock:
+        sock.sendall(b"x" * 8192)  # no newline: unframed garbage
+        handle = sock.makefile("r", encoding="utf-8", newline="\n")
+        response = json.loads(handle.readline())
+        assert response == {"ok": False, "error": "line too long"}
+        assert handle.readline() == ""  # server closed the connection
+
+
+def test_drain_timeout_maps_to_504_and_flags_ndjson(tiny_service):
+    # 200 virtual seconds = 1 wall second at scale 200: far beyond the
+    # 0.25 s drain budget, so the drain must time out rather than hang
+    # or silently return a partial result.
+    slow = job_payload("sparrow", tasks=(200.0,))
+    status, payload = http(tiny_service, "POST", "/jobs", slow)
+    assert status == 202
+    run_id = payload["run_id"]
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http(tiny_service, "POST", f"/runs/{run_id}/drain")
+    assert excinfo.value.code == 504
+    body = json.loads(excinfo.value.read())
+    assert body["timeout"] is True and "in" in body["error"]
+
+    (via_socket,) = ndjson(
+        tiny_service, {"op": "drain", "run_id": run_id, "timeout": 0.05}
+    )
+    assert via_socket["ok"] is False and via_socket["timeout"] is True
+
+    # Partial results stay reachable while the run finishes ...
+    status, payload = http(
+        tiny_service, "GET", f"/runs/{run_id}/result?drain=0"
+    )
+    assert status == 200 and payload["result"]["jobs"] == []
+
+    # ... and the run itself is fine: wait it out for a clean shutdown.
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        status, payload = http(
+            tiny_service, "GET", f"/runs/{run_id}/result?drain=0"
+        )
+        if len(payload["result"]["jobs"]) == 1:
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail("slow job never completed")
 
 
 def ndjson(service, *payloads):
