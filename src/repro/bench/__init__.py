@@ -21,6 +21,13 @@ so every PR leaves a tracked trajectory instead of anecdotes:
   :class:`~repro.experiments.parallel.SweepExecutor` with an isolated
   disk cache: cold (every run executed) and warm (every run served from
   the disk tier), the repeated-figure-regeneration case.
+* **sweep_stream** — chained batch barriers vs one continuous
+  ``run_stream`` on a skewed synthetic grid (one deliberately slow point
+  ahead of many fast ones, sleep-based so the comparison isolates
+  orchestration, not simulation).  Joining every batch serializes the
+  whole chain behind the slow point; the stream keeps the second worker
+  fed across batch boundaries.  ``--check`` fails when the measured
+  speedup drops below :data:`STREAM_SPEEDUP_FLOOR`.
 
 A fourth, mode-independent measurement lives in the ``scale`` section
 (``--scale``): the 10k-worker Figure 5 point (Hawk + Sparrow on the
@@ -57,6 +64,10 @@ from repro.workloads.spec import Trace
 
 #: Fail ``--check`` when fresh events/sec drop below committed/this.
 REGRESSION_FACTOR = 1.5
+
+#: Fail ``--check`` when the streaming executor's measured advantage over
+#: chained batch barriers drops below this on the skewed grid.
+STREAM_SPEEDUP_FLOOR = 1.3
 
 #: Default output path: ``BENCH_core.json`` at the repo root (next to the
 #: ``benchmarks/`` directory) for a src/ checkout, cwd otherwise.
@@ -276,6 +287,118 @@ def bench_sweep(scale: str) -> dict:
         return {"targets": list(targets), **timings}
 
 
+def _synthetic_sleep_run(spec: RunSpec, trace: Trace):
+    """Stand-in simulation for the streaming bench: sleep, don't compute.
+
+    The point's cost is encoded as its only task's duration, so the grid
+    shape fully determines the schedule.  Sleeps overlap across pool
+    processes even on a single CPU, which keeps the barrier-vs-stream
+    comparison about *orchestration* (who waits on whom) rather than
+    about how much CPU the host happens to have.  Module-level so it
+    pickles into pool submissions.
+    """
+    duration = next(iter(trace)).task_durations[0]
+    time.sleep(duration)
+    return (trace.name, duration)
+
+
+def _skewed_grid(
+    n_batches: int, batch_points: int, fast_s: float, slow_s: float
+) -> list[list[tuple[RunSpec, Trace]]]:
+    """A batched grid with one slow straggler at the front.
+
+    Every point gets a content-distinct single-task trace (distinct job
+    id), so nothing deduplicates and both arms execute every point.
+    """
+    from repro.workloads.spec import JobSpec
+
+    spec = RunSpec(scheduler="sparrow", n_workers=1, cutoff=10.0)
+    batches = []
+    point = 0
+    for b in range(n_batches):
+        batch = []
+        for k in range(batch_points):
+            duration = slow_s if (b == 0 and k == 0) else fast_s
+            trace = Trace(
+                [JobSpec(point, 0.0, (duration,))], name=f"stream-{point}"
+            )
+            batch.append((spec, trace))
+            point += 1
+        batches.append(batch)
+    return batches
+
+
+def bench_sweep_stream(scale: str) -> dict:
+    """Chained batch barriers vs one continuous stream on a skewed grid.
+
+    The barrier arm runs each batch through ``run_many`` and joins before
+    starting the next — the shape every multi-workload figure driver had
+    before streaming — so batches 1..B-1 all wait behind batch 0's slow
+    point.  The stream arm feeds the identical pairs through one
+    ``run_stream``: the second worker chews through the fast points while
+    the first sleeps on the straggler, and the makespan collapses to
+    roughly the straggler itself.  Both arms use 2 pool workers, no
+    caches, and the sleep-based synthetic run.
+    """
+    from repro.experiments.parallel import SweepExecutor
+
+    if scale == "quick":
+        n_batches, batch_points, fast_s, slow_s = 14, 5, 0.02, 1.5
+    else:
+        n_batches, batch_points, fast_s, slow_s = 16, 5, 0.03, 2.4
+    batches = _skewed_grid(n_batches, batch_points, fast_s, slow_s)
+    n_points = n_batches * batch_points
+
+    def fresh_executor() -> SweepExecutor:
+        return SweepExecutor(
+            max_workers=2,
+            disk_cache=None,
+            trace_shm=False,
+            run_fn=_synthetic_sleep_run,
+        )
+
+    barrier = fresh_executor()
+    try:
+        start = time.perf_counter()
+        for batch in batches:
+            barrier.run_many(batch)
+        barrier_s = time.perf_counter() - start
+    finally:
+        barrier.close()
+
+    stream = fresh_executor()
+    try:
+        start = time.perf_counter()
+        for _ in stream.run_stream(
+            pair for batch in batches for pair in batch
+        ):
+            pass
+        stream_s = time.perf_counter() - start
+    finally:
+        stream.close()
+
+    summary = stream.summary()
+    # The executor's own accounting must agree with the grid: every point
+    # executed exactly once, nothing served from a cache tier.
+    assert summary["executions"] == n_points, summary
+    assert summary["memo_hits"] == 0 and summary["disk_hits"] == 0, summary
+    assert summary["max_inflight"] <= stream.inflight, summary
+    return {
+        "grid": {
+            "batches": n_batches,
+            "points_per_batch": batch_points,
+            "fast_s": fast_s,
+            "slow_s": slow_s,
+            "total_points": n_points,
+        },
+        "workers": 2,
+        "barrier_s": round(barrier_s, 4),
+        "stream_s": round(stream_s, 4),
+        "speedup": round(barrier_s / stream_s, 3),
+        "executor": summary,
+    }
+
+
 def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
     scale = "quick" if quick else "full"
     if repeats is None:
@@ -287,6 +410,7 @@ def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
         "events": bench_events(scale, repeats=repeats),
         "stealing": bench_stealing(scale, repeats=repeats),
         "sweep": bench_sweep(scale),
+        "sweep_stream": bench_sweep_stream(scale),
     }
 
 
@@ -335,6 +459,18 @@ def check_regression(baseline_path: Path, section: str, fresh: dict) -> list[str
                 f"stealing events/sec regression: measured {measured} < "
                 f"floor {floor:.0f} (committed {committed} / "
                 f"{REGRESSION_FACTOR})"
+            )
+    # The streaming executor must beat chained barriers outright on the
+    # skewed grid — an absolute floor, not a baseline ratio, so losing
+    # the producer/consumer overlap can never slip through.
+    if "sweep_stream" in fresh:
+        speedup = fresh["sweep_stream"]["speedup"]
+        if speedup < STREAM_SPEEDUP_FLOOR:
+            failures.append(
+                f"sweep_stream speedup {speedup} < floor "
+                f"{STREAM_SPEEDUP_FLOOR} (barrier "
+                f"{fresh['sweep_stream']['barrier_s']}s vs stream "
+                f"{fresh['sweep_stream']['stream_s']}s)"
             )
     return failures
 

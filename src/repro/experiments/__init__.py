@@ -25,8 +25,20 @@ from repro.experiments.parallel import (
     set_executor,
 )
 from repro.experiments.report import FigureResult, ascii_cdf, ascii_table
-from repro.experiments.runner import clear_cache, run_cached, run_replicated
-from repro.experiments.sweeps import ReplicatedPoint, SweepPoint, sweep
+from repro.experiments.result_index import ResultIndex
+from repro.experiments.runner import (
+    clear_cache,
+    run_cached,
+    run_replicated,
+    run_stream,
+)
+from repro.experiments.sweeps import (
+    ReplicatedPoint,
+    SweepJob,
+    SweepPoint,
+    multi_sweep,
+    sweep,
+)
 from repro.workloads.registry import WorkloadSpec
 
 __all__ = [
@@ -34,8 +46,10 @@ __all__ = [
     "FigureResult",
     "GOOGLE_UTILIZATION_TARGETS",
     "ReplicatedPoint",
+    "ResultIndex",
     "RunSpec",
     "SweepExecutor",
+    "SweepJob",
     "SweepPoint",
     "WorkloadSpec",
     "ascii_cdf",
@@ -45,9 +59,11 @@ __all__ = [
     "clear_cache",
     "execute",
     "get_executor",
+    "multi_sweep",
     "replica_pairs",
     "run_cached",
     "run_replicated",
+    "run_stream",
     "set_executor",
     "sweep",
     "sweep_sizes",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.config import GOOGLE_UTILIZATION_TARGETS, RunSpec, sweep_sizes
 from repro.experiments.report import FigureResult
-from repro.experiments.sweeps import sweep
+from repro.experiments.sweeps import SweepJob, multi_sweep
 from repro.experiments.traces import ALL_WORKLOAD_SPECS, kmeans_workload
 
 
@@ -33,8 +33,12 @@ def run(
             "long p50",
         ),
     )
-    for spec in ALL_WORKLOAD_SPECS:
-        workload = kmeans_workload(spec, scale)
+    # All three workloads chain into ONE executor stream: no per-workload
+    # batch barrier, so Yahoo's runs start while Cloudera's slowest point
+    # is still in flight.
+    workloads = [kmeans_workload(spec, scale) for spec in ALL_WORKLOAD_SPECS]
+    jobs = []
+    for workload in workloads:
         sizes = sweep_sizes(workload.trace(seed), utilization_targets)
         hawk = RunSpec(
             scheduler="hawk",
@@ -46,7 +50,8 @@ def run(
         sparrow = RunSpec(
             scheduler="sparrow", n_workers=1, cutoff=workload.cutoff, seed=seed
         )
-        points = sweep(workload, sizes, hawk, sparrow, n_seeds=n_seeds)
+        jobs.append(SweepJob(workload, tuple(sizes), hawk, sparrow))
+    for workload, points in zip(workloads, multi_sweep(jobs, n_seeds=n_seeds)):
         for point in points:
             result.add_row(
                 workload.name,

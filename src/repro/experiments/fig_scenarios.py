@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.cluster.job import JobClass
 from repro.experiments.config import HIGH_LOAD_TARGET, RunSpec, high_load_size
 from repro.experiments.report import FigureResult
-from repro.experiments.sweeps import extra_metrics, sweep
+from repro.experiments.sweeps import SweepJob, extra_metrics, multi_sweep
 from repro.workloads.registry import WorkloadSpec, quick_spec
 
 #: The registry-only scenario workloads this figure ships with.
@@ -45,6 +45,10 @@ def run(
             "frac short improved",
         ),
     )
+    # One executor stream across every scenario: a straggler in one
+    # workload's point no longer gates the next workload's runs.
+    specs = []
+    jobs = []
     for name in workloads:
         workload = (
             quick_spec(name) if scale == "quick" else WorkloadSpec(name)
@@ -60,7 +64,9 @@ def run(
         sparrow = RunSpec(
             scheduler="sparrow", n_workers=n, cutoff=workload.cutoff, seed=seed
         )
-        points = sweep(workload, (n,), hawk, sparrow, n_seeds=n_seeds)
+        specs.append(workload)
+        jobs.append(SweepJob(workload, (n,), hawk, sparrow))
+    for workload, points in zip(specs, multi_sweep(jobs, n_seeds=n_seeds)):
         for point in points:
             frac_s, _ = extra_metrics(point, JobClass.SHORT)
             result.add_row(

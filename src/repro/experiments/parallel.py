@@ -1,9 +1,14 @@
-"""Parallel sweep execution with a two-tier persistent run cache.
+"""Streaming sweep execution with a two-tier persistent run cache.
 
-Every figure reduces to a batch of independent ``(RunSpec, trace)`` runs.
-:class:`SweepExecutor` materializes such batches, deduplicates them by a
-content-addressed cache key, satisfies what it can from its caches and
-fans the remaining runs out over a ``multiprocessing`` worker pool.
+Every figure reduces to independent ``(RunSpec, trace)`` runs.
+:class:`SweepExecutor` consumes them as a *stream*: :meth:`run_stream`
+pulls pairs lazily from a generator, keeps a bounded in-flight window
+over a ``multiprocessing`` worker pool (backpressure — arbitrarily large
+grids never materialize), drains completions out of order as they land,
+and retires each result into the cache immediately.  ``run_many`` /
+``run_one`` / ``run_replicated`` are thin wrappers that collect the
+stream back into submission order, so batch callers see exactly the
+pre-streaming behaviour.
 
 Two cache tiers sit in front of execution:
 
@@ -12,7 +17,11 @@ Two cache tiers sit in front of execution:
   figure drivers and tests rely on;
 * an on-disk cache of pickled :class:`RunResult` values under
   ``benchmarks/.runcache/v<N>/<key>.pkl``, shared across processes and
-  pytest sessions.
+  pytest sessions.  A SQLite sidecar (``index.db``, see
+  :mod:`repro.experiments.result_index`) indexes the blobs — size, LRU
+  recency, provenance — so lookup bookkeeping, the size cap and LRU
+  eviction run off one query instead of a directory walk; it rebuilds
+  itself from the blobs whenever it disagrees with the filesystem.
 
 The cache key is a content hash of the spec (every compared field,
 including ``estimate_tag``) and the *full* trace — job ids, submit times
@@ -21,6 +30,8 @@ traces that merely share a name, length and rounded totals can never
 collide.  ``CACHE_VERSION`` is baked into both the key and the directory
 name: bump it whenever engine semantics change (event ordering, RNG
 streams, record fields) and every stale entry is invalidated at once.
+Streaming did NOT bump it: keys and results are untouched, only the
+order in which completions are observed changed.
 
 Trace transport: a sweep submits many specs over few distinct traces, so
 pickling the full trace into every pool submission is the dominant IPC
@@ -36,6 +47,10 @@ Knobs (also see ``src/repro/experiments/README.md``):
 
 * ``REPRO_EXECUTOR_WORKERS`` — worker-pool size; unset defaults to
   ``os.cpu_count()``; ``0``/``1`` force the deterministic serial path.
+* ``REPRO_EXECUTOR_INFLIGHT`` — in-flight window of the streaming core
+  (submitted-but-unfinished runs); unset defaults to 2× the pool size.
+  Smaller values bound memory on huge generators, larger ones smooth
+  over uneven run times.
 * ``REPRO_RUNCACHE`` — set to ``0`` to disable the on-disk tier.
 * ``REPRO_RUNCACHE_DIR`` — override the on-disk cache location.
 * ``REPRO_RUNCACHE_MAX_MB`` — cap the on-disk tier's total size;
@@ -44,6 +59,8 @@ Knobs (also see ``src/repro/experiments/README.md``):
   unbounded.
 * ``REPRO_TRACE_SHM`` — set to ``0`` to disable the shared-memory trace
   transport (traces are then pickled into every pool submission).
+* ``REPRO_SWEEP_PROGRESS`` — set to ``1`` for per-completion progress
+  lines on stderr (``point k/N done, in-flight j, memo/disk/exec``).
 
 Runs are deterministic given (spec, trace): per-run RNG streams are
 seeded from the spec, so the parallel path returns bit-identical results
@@ -58,17 +75,24 @@ import atexit
 import math
 import os
 import pickle
+import sys
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import fields
 from hashlib import blake2b
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.cluster.records import RunResult
 from repro.core.errors import ConfigurationError
 from repro.experiments.config import RunSpec, execute
+from repro.experiments.result_index import ResultIndex
 from repro.workloads.registry import WorkloadSpec
 from repro.workloads.replication import TraceFactory
 from repro.workloads.spec import Trace
@@ -82,10 +106,12 @@ from repro.workloads.spec import Trace
 CACHE_VERSION = 3
 
 WORKERS_ENV = "REPRO_EXECUTOR_WORKERS"
+INFLIGHT_ENV = "REPRO_EXECUTOR_INFLIGHT"
 DISK_CACHE_ENV = "REPRO_RUNCACHE"
 DISK_CACHE_DIR_ENV = "REPRO_RUNCACHE_DIR"
 DISK_CACHE_MAX_MB_ENV = "REPRO_RUNCACHE_MAX_MB"
 TRACE_SHM_ENV = "REPRO_TRACE_SHM"
+PROGRESS_ENV = "REPRO_SWEEP_PROGRESS"
 
 def _default_cache_dir() -> Path:
     """``benchmarks/.runcache`` at the repo root for a src/ checkout.
@@ -136,6 +162,16 @@ def cache_key(spec: RunSpec, trace: Trace) -> str:
     return h.hexdigest()
 
 
+def _provenance(spec: RunSpec, trace: Trace) -> dict:
+    """Result-index metadata recorded alongside a stored blob."""
+    return {
+        "policy": spec.scheduler,
+        "seed": spec.seed,
+        "spec_digest": spec_digest(spec),
+        "trace_digest": trace.content_digest(),
+    }
+
+
 class DiskCache:
     """Pickled RunResults under ``<root>/v<CACHE_VERSION>/<key>.pkl``.
 
@@ -146,6 +182,14 @@ class DiskCache:
     entry's mtime, making the policy LRU rather than FIFO.  The entry
     just written is never evicted, so a single result larger than the
     cap still caches (the cap then holds only approximately).
+
+    Size accounting and eviction ordering come from the persistent
+    :class:`~repro.experiments.result_index.ResultIndex` sidecar
+    (``<root>/index.db``).  The first cap/size query of an instance
+    reconciles the index against the blobs actually on disk (adopting
+    pre-index caches and entries touched behind our back), after which
+    queries are index-only; if SQLite is unavailable the cache falls
+    back to the directory scan it used before the index existed.
     """
 
     def __init__(
@@ -160,37 +204,47 @@ class DiskCache:
         self.base_root = Path(root)
         self.root = self.base_root / f"v{CACHE_VERSION}"
         self.max_bytes = max_bytes
+        self.index = ResultIndex(self.base_root)
+        self._synced = False
         #: Entries deleted by cap enforcement (observability counter).
         self.evictions = 0
         # Running size estimate so stores far below the cap skip the
-        # full tree scan: seeded by one scan on first need, advanced by
-        # this writer's stores, re-synced by every enforcement scan.
-        # Other writers' concurrent stores are only picked up at the
-        # next scan, so the cap is exact per-writer and approximate
-        # across writers — over-use is bounded and corrected as soon as
-        # any writer crosses its own estimate.
+        # full reconciliation: seeded by one query on first need,
+        # advanced by this writer's stores, re-synced by every
+        # enforcement pass.  Other writers' concurrent stores are only
+        # picked up at the next pass, so the cap is exact per-writer and
+        # approximate across writers — over-use is bounded and corrected
+        # as soon as any writer crosses its own estimate.
         self._approx_total: int | None = None
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
+    def _rel(self, path: Path) -> str:
+        return str(path.relative_to(self.base_root))
+
     def load(self, key: str) -> RunResult | None:
+        path = self.path(key)
         try:
-            with open(self.path(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 result = pickle.load(fh)
+        except FileNotFoundError:
+            self.index.remove([self._rel(path)])  # drop any stale row
+            return None
         except Exception:
-            # Missing, truncated or otherwise unreadable entries are
-            # plain misses; the run is recomputed and the entry rewritten.
+            # Truncated or otherwise unreadable entries are plain
+            # misses; the run is recomputed and the entry rewritten.
             return None
         if not isinstance(result, RunResult):
             return None
         try:
-            os.utime(self.path(key))  # refresh LRU recency
+            os.utime(path)  # refresh LRU recency
+            self.index.touch(self._rel(path), path.stat().st_mtime)
         except OSError:
             pass
         return result
 
-    def store(self, key: str, result: RunResult) -> None:
+    def store(self, key: str, result: RunResult, meta: dict | None = None) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         final = self.path(key)
         # Write-then-rename keeps concurrent readers/writers safe: a
@@ -203,24 +257,22 @@ class DiskCache:
         except OSError:
             tmp.unlink(missing_ok=True)
             return
+        try:
+            stat = final.stat()
+        except OSError:
+            return
+        self.index.record(self._rel(final), stat.st_size, stat.st_mtime, meta)
         if self.max_bytes is None:
             return
         if self._approx_total is None:
             self._approx_total = self.total_bytes()  # includes this entry
         else:
-            try:
-                self._approx_total += final.stat().st_size
-            except OSError:
-                self._approx_total = None
-        if self._approx_total is None or self._approx_total > self.max_bytes:
+            self._approx_total += stat.st_size
+        if self._approx_total > self.max_bytes:
             self.enforce_cap(keep=final)
 
-    def total_bytes(self) -> int:
-        """Current size of every entry under the cache root (all versions)."""
-        return sum(size for _, _, size in self._entries())
-
-    def _entries(self) -> list[tuple[float, Path, int]]:
-        """(mtime, path, size) of every entry; racing deletions skipped."""
+    def _scan(self) -> list[tuple[float, Path, int]]:
+        """(mtime, path, size) of every blob; racing deletions skipped."""
         entries = []
         if not self.base_root.is_dir():
             return entries
@@ -232,6 +284,54 @@ class DiskCache:
             entries.append((stat.st_mtime, path, stat.st_size))
         return entries
 
+    def _ensure_synced(self) -> None:
+        """Reconcile the index with the filesystem, once per instance.
+
+        This is the rebuild-from-blobs migration (pre-index caches index
+        themselves on first use) and the self-healing path for blobs
+        created, deleted or ``utime``-d behind our back.
+        """
+        if self._synced:
+            return
+        self._synced = True
+        self.index.reconcile(
+            [(mtime, self._rel(path), size) for mtime, path, size in self._scan()]
+        )
+
+    def rebuild_index(self) -> int:
+        """Force a rebuild of ``index.db`` from the blobs on disk.
+
+        Returns the number of blobs indexed.  Provenance columns of
+        adopted rows stay ``NULL`` — a blob's key is a one-way hash, so
+        only fresh stores know what produced them.
+        """
+        blobs = [(mtime, self._rel(path), size) for mtime, path, size in self._scan()]
+        self.index.reconcile(blobs)
+        self._synced = True
+        return len(blobs)
+
+    def _indexed_entries(self) -> list[tuple[float, Path, str, int]]:
+        """(mtime, path, rel, size) of every entry, via index or scan."""
+        self._ensure_synced()
+        rows = self.index.lru_entries()
+        if rows is not None:
+            return [
+                (mtime, self.base_root / rel, rel, size)
+                for mtime, rel, size in rows
+            ]
+        return [
+            (mtime, path, self._rel(path), size)
+            for mtime, path, size in self._scan()
+        ]
+
+    def total_bytes(self) -> int:
+        """Current size of every entry under the cache root (all versions)."""
+        self._ensure_synced()
+        total = self.index.total_bytes()
+        if total is None:
+            return sum(size for _, _, size in self._scan())
+        return total
+
     def enforce_cap(self, keep: Path | None = None) -> int:
         """Evict LRU entries until the cache fits ``max_bytes``.
 
@@ -242,20 +342,27 @@ class DiskCache:
         """
         if self.max_bytes is None:
             return 0
-        entries = self._entries()
-        total = sum(size for _, _, size in entries)
+        entries = self._indexed_entries()
+        total = sum(size for _, _, _, size in entries)
         removed = 0
-        for _, path, size in sorted(entries):  # oldest mtime first
+        dropped_rows: list[str] = []
+        for _, path, rel, size in sorted(entries, key=lambda e: (e[0], e[2])):
             if total <= self.max_bytes:
                 break
             if keep is not None and path == keep:
                 continue
             try:
                 path.unlink()
+            except FileNotFoundError:
+                dropped_rows.append(rel)  # stale row: blob already gone
+                total -= size
+                continue
             except OSError:
                 continue
+            dropped_rows.append(rel)
             total -= size
             removed += 1
+        self.index.remove(dropped_rows)
         self._approx_total = total
         self.evictions += removed
         return removed
@@ -263,10 +370,13 @@ class DiskCache:
     def clear(self) -> int:
         """Delete this version's entries; returns the number removed."""
         removed = 0
+        dropped_rows: list[str] = []
         if self.root.is_dir():
             for entry in self.root.glob("*.pkl"):
                 entry.unlink(missing_ok=True)
+                dropped_rows.append(self._rel(entry))
                 removed += 1
+        self.index.remove(dropped_rows)
         self._approx_total = None
         return removed
 
@@ -280,6 +390,20 @@ def _pool_size_from_env() -> int:
     except ValueError:
         raise ConfigurationError(
             f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, value)
+
+
+def _inflight_from_env(max_workers: int) -> int:
+    """Streaming window: ``REPRO_EXECUTOR_INFLIGHT`` or 2× the pool."""
+    raw = os.environ.get(INFLIGHT_ENV)
+    if raw is None or raw.strip() == "":
+        return max(2, 2 * max_workers)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{INFLIGHT_ENV} must be an integer, got {raw!r}"
         ) from None
     return max(1, value)
 
@@ -309,6 +433,10 @@ def _disk_cache_from_env() -> DiskCache | None:
         os.environ.get(DISK_CACHE_DIR_ENV, DEFAULT_CACHE_DIR),
         max_bytes=_max_bytes_from_env(),
     )
+
+
+def _progress_enabled() -> bool:
+    return os.environ.get(PROGRESS_ENV, "").strip() in ("1", "on", "yes")
 
 
 def replica_pairs(
@@ -344,9 +472,9 @@ def replica_pairs(
     return pairs
 
 
-def _execute_keyed(key: str, spec: RunSpec, trace: Trace):
+def _execute_keyed(run_fn, key: str, spec: RunSpec, trace: Trace):
     """Pool-side worker: run one experiment, echoing its cache key."""
-    return key, execute(spec, trace)
+    return key, run_fn(spec, trace)
 
 
 # -- shared-memory trace transport --------------------------------------
@@ -429,10 +557,10 @@ def _trace_from_shm(digest: str, shm_name: str, length: int) -> Trace:
 
 
 def _execute_keyed_shm(
-    key: str, spec: RunSpec, digest: str, shm_name: str, length: int
+    run_fn, key: str, spec: RunSpec, digest: str, shm_name: str, length: int
 ):
     """Pool-side worker: like :func:`_execute_keyed`, trace via shm."""
-    return key, execute(spec, _trace_from_shm(digest, shm_name, length))
+    return key, run_fn(spec, _trace_from_shm(digest, shm_name, length))
 
 
 def _trace_shm_enabled_from_env() -> bool:
@@ -456,7 +584,7 @@ def _transportable(spec: RunSpec) -> bool:
 
 
 class SweepExecutor:
-    """Batch runner for independent (RunSpec, trace) experiments.
+    """Streaming runner for independent (RunSpec, trace) experiments.
 
     Parameters
     ----------
@@ -474,6 +602,16 @@ class SweepExecutor:
         (one segment per distinct trace) instead of pickling the trace
         into every submission.  ``None`` (default) honors
         ``REPRO_TRACE_SHM``.
+    inflight:
+        In-flight window of :meth:`run_stream` — the maximum number of
+        cache misses submitted-but-unfinished at once.  ``None``
+        (default) honors ``REPRO_EXECUTOR_INFLIGHT``, falling back to 2×
+        the pool size.
+    run_fn:
+        The function executed per (spec, trace) pair; defaults to
+        :func:`repro.experiments.config.execute`.  Must be a picklable
+        module-level callable to cross the pool boundary (the benchmark
+        and crash tests inject synthetic runs here).
     """
 
     def __init__(
@@ -481,6 +619,8 @@ class SweepExecutor:
         max_workers: int | None = None,
         disk_cache: DiskCache | None | str = "env",
         trace_shm: bool | None = None,
+        inflight: int | None = None,
+        run_fn: Callable[[RunSpec, Trace], RunResult] = execute,
     ) -> None:
         self.max_workers = (
             _pool_size_from_env() if max_workers is None else max(1, max_workers)
@@ -491,6 +631,12 @@ class SweepExecutor:
         self.trace_shm = (
             _trace_shm_enabled_from_env() if trace_shm is None else trace_shm
         )
+        self.inflight = (
+            _inflight_from_env(self.max_workers)
+            if inflight is None
+            else max(1, inflight)
+        )
+        self.run_fn = run_fn
         self._memo: dict[str, RunResult] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._transport: TraceTransport | None = None
@@ -498,6 +644,8 @@ class SweepExecutor:
         self.memo_hits = 0
         self.disk_hits = 0
         self.executions = 0
+        self.pool_rebuilds = 0
+        self.max_inflight = 0
 
     # -- cache management ----------------------------------------------
     def memo_size(self) -> int:
@@ -507,18 +655,36 @@ class SweepExecutor:
         self._memo.clear()
 
     def close(self) -> None:
-        """Shut down the pool and release shm segments (caches stay intact)."""
+        """Shut down the pool and release shm segments (caches stay intact).
+
+        Queued-but-unstarted futures are cancelled and running ones are
+        drained (``wait=True``) *before* the shm segments are unlinked,
+        so a live pool worker can never observe its trace segment
+        disappearing mid-read.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None
 
-    def _record(self, key: str, result: RunResult, persist: bool) -> None:
+    def summary(self) -> dict:
+        """Cache-hit / execution counters for logs, tests and the bench."""
+        return {
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "executions": self.executions,
+            "pool_rebuilds": self.pool_rebuilds,
+            "max_inflight": self.max_inflight,
+        }
+
+    def _record(
+        self, key: str, result: RunResult, persist: bool, meta: dict | None = None
+    ) -> None:
         self._memo[key] = result
         if persist and self.disk_cache is not None:
-            self.disk_cache.store(key, result)
+            self.disk_cache.store(key, result, meta)
 
     # -- execution ------------------------------------------------------
     def run_one(self, spec: RunSpec, trace: Trace) -> RunResult:
@@ -539,7 +705,7 @@ class SweepExecutor:
         the trace is its own factory).  Each replica has its own cache
         key — the seed is a compared spec field and replica traces have
         distinct content digests — so replicas hit the two-tier cache
-        independently and fan out over the pool as one batch.
+        independently and flow through the pool as one stream.
         ``run_replicated(spec, trace, 1)`` is exactly
         ``[run_one(spec, trace)]``.
         """
@@ -550,45 +716,198 @@ class SweepExecutor:
     ) -> list[RunResult]:
         """Run a batch, returning results in submission order.
 
-        Duplicate submissions (same cache key) execute once.  Results for
-        a given key are identical objects within a session.
+        A thin ordered-collection wrapper over :meth:`run_stream`:
+        completions may land in any order, but results are slotted back
+        by submission index, so callers are byte-identical to the
+        pre-streaming batch path.  Duplicate submissions (same cache
+        key) execute once; results for a given key are identical objects
+        within a session.
         """
-        keys = [cache_key(spec, trace) for spec, trace in pairs]
-        missing: dict[str, tuple[RunSpec, Trace]] = {}
-        for key, pair in zip(keys, pairs):
-            if key in missing:
-                continue
-            if key in self._memo:
-                self.memo_hits += 1
-                continue
-            if self.disk_cache is not None:
-                result = self.disk_cache.load(key)
-                if result is not None:
-                    self.disk_hits += 1
-                    self._memo[key] = result
-                    continue
-            missing[key] = pair
-        if missing:
-            self._execute_missing(missing)
-        return [self._memo[key] for key in keys]
+        pairs = list(pairs)
+        results: list[RunResult | None] = [None] * len(pairs)
+        for index, _key, result in self.run_stream(pairs, total=len(pairs)):
+            results[index] = result
+        return results  # type: ignore[return-value]
 
-    def _execute_missing(
-        self, missing: dict[str, tuple[RunSpec, Trace]]
-    ) -> None:
-        local = list(missing.items())
-        if self.max_workers > 1 and len(local) > 1:
-            remote = [item for item in local if _transportable(item[1][0])]
-            if len(remote) > 1:
-                remote_keys = {key for key, _ in remote}
-                local = [item for item in local if item[0] not in remote_keys]
-                self._fan_out(remote)
-        for key, (spec, trace) in local:
+    def run_stream(
+        self,
+        pairs: Iterable[tuple[RunSpec, Trace]],
+        on_result: Callable[[int, str, RunResult], None] | None = None,
+        total: int | None = None,
+    ) -> Iterator[tuple[int, str, RunResult]]:
+        """Producer/consumer core: stream results as they complete.
+
+        Pulls ``(spec, trace)`` pairs lazily from ``pairs`` (any
+        iterable, including an unbounded generator), keeps at most
+        :attr:`inflight` cache misses submitted-but-unfinished — the
+        backpressure that stops huge generators from materializing — and
+        yields ``(submission_index, cache_key, result)`` in *completion*
+        order.  ``on_result`` (if given) is invoked with the same triple
+        just before each yield.  Every result is retired into the
+        two-tier cache before it is emitted.
+
+        Cache semantics match the batch path exactly: duplicate keys
+        execute once (later duplicates wait on the first occurrence and
+        emit with it, or hit the memo if it already finished), specs
+        that cannot cross the pool run in-process, a lone miss is
+        executed in-process rather than paying pool startup, and the
+        serial path (``max_workers <= 1``) executes misses in submission
+        order in this process.
+
+        A :class:`~concurrent.futures.BrokenExecutor` from a crashed
+        pool worker does not lose the stream: the pool is torn down
+        (rebuilt lazily on the next miss), and every affected key is
+        re-run serially in-process in submission order.
+        """
+        if total is None and hasattr(pairs, "__len__"):
+            total = len(pairs)  # type: ignore[arg-type]
+        it = iter(pairs)
+        progress = _progress_enabled()
+        window = self.inflight
+        # Streaming state: `waiters` maps every in-flight or deferred
+        # key to the submission indices awaiting it; `pending` keeps the
+        # (spec, trace) pair for each such key so crashed keys can be
+        # re-run; `running` maps live pool futures back to their key;
+        # `deferred` holds back the first transportable miss so a stream
+        # with a single miss never pays pool startup.
+        waiters: dict[str, list[int]] = {}
+        pending: dict[str, tuple[RunSpec, Trace]] = {}
+        running: dict = {}
+        deferred: str | None = None
+        next_index = 0
+        done_points = 0
+        exhausted = False
+
+        def finish(key: str, result: RunResult):
+            """Emissions for every index waiting on a completed key."""
+            nonlocal done_points
+            emissions = []
+            for index in waiters.pop(key, []):
+                done_points += 1
+                if on_result is not None:
+                    on_result(index, key, result)
+                emissions.append((index, key, result))
+            if progress:
+                live = len(running) + (1 if deferred is not None else 0)
+                self._progress(done_points, total, live)
+            return emissions
+
+        def emit_now(index: int, key: str, result: RunResult):
+            """Emission for a pair satisfied at pull time (cache hit)."""
+            waiters[key] = [index]
+            return finish(key, result)
+
+        def run_local(key: str):
+            """Execute one pending key in-process and emit its waiters."""
+            spec, trace = pending.pop(key)
             self.executions += 1
-            self._record(key, execute(spec, trace), persist=True)
+            result = self.run_fn(spec, trace)
+            self._record(key, result, persist=True, meta=_provenance(spec, trace))
+            return finish(key, result)
+
+        while True:
+            # Fill: pull from the input while the window has room.
+            while not exhausted:
+                live = len(running) + (1 if deferred is not None else 0)
+                self.max_inflight = max(self.max_inflight, live)
+                if live >= window:
+                    break
+                try:
+                    spec, trace = next(it)
+                except StopIteration:
+                    exhausted = True
+                    break
+                index = next_index
+                next_index += 1
+                key = cache_key(spec, trace)
+                if key in waiters:  # duplicate of an in-flight key
+                    waiters[key].append(index)
+                    continue
+                result = self._memo.get(key)
+                if result is not None:
+                    self.memo_hits += 1
+                    yield from emit_now(index, key, result)
+                    continue
+                if self.disk_cache is not None:
+                    result = self.disk_cache.load(key)
+                    if result is not None:
+                        self.disk_hits += 1
+                        self._memo[key] = result
+                        yield from emit_now(index, key, result)
+                        continue
+                waiters[key] = [index]
+                pending[key] = (spec, trace)
+                if self.max_workers <= 1 or not _transportable(spec):
+                    yield from run_local(key)
+                    continue
+                if deferred is None and not running and self._pool is None:
+                    deferred = key  # a stream of one miss stays in-process
+                    continue
+                if deferred is not None:
+                    head, deferred = deferred, None
+                    hspec, htrace = pending[head]
+                    running[self._submit(head, hspec, htrace)] = head
+                running[self._submit(key, spec, trace)] = key
+                live = len(running)
+                self.max_inflight = max(self.max_inflight, live)
+
+            # Drain: consume at least one completion, or flush leftovers.
+            if running:
+                done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+                crashed: list[str] = []
+                for future in done:
+                    key = running.pop(future)
+                    try:
+                        _, result = future.result()
+                    except BrokenExecutor:
+                        crashed.append(key)
+                        continue
+                    spec, trace = pending.pop(key)
+                    self.executions += 1
+                    self._record(
+                        key, result, persist=True, meta=_provenance(spec, trace)
+                    )
+                    yield from finish(key, result)
+                if crashed:
+                    # The pool is gone and took every queued future with
+                    # it.  Tear it down (the next miss rebuilds it) and
+                    # re-run the affected keys serially, in submission
+                    # order, in this process.
+                    crashed_keys = set(crashed) | set(running.values())
+                    running.clear()
+                    if self._pool is not None:
+                        self._pool.shutdown(wait=False, cancel_futures=True)
+                        self._pool = None
+                    self.pool_rebuilds += 1
+                    for key in [k for k in pending if k in crashed_keys]:
+                        yield from run_local(key)
+            elif deferred is not None:
+                # Input exhausted (or window=1) with one lone miss held
+                # back: a batch of one always ran in-process.
+                head, deferred = deferred, None
+                yield from run_local(head)
+            elif exhausted:
+                return
+
+    def _progress(self, done: int, total: int | None, live: int) -> None:
+        from repro.experiments.report import progress_line
+
+        print(
+            progress_line(
+                done,
+                total,
+                live,
+                memo_hits=self.memo_hits,
+                disk_hits=self.disk_hits,
+                executions=self.executions,
+            ),
+            file=sys.stderr,
+        )
 
     def _submit(self, key: str, spec: RunSpec, trace: Trace):
         """Submit one run, shipping the trace by reference when possible."""
-        assert self._pool is not None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         if self.trace_shm:
             if self._transport is None:
                 self._transport = TraceTransport()
@@ -596,20 +915,9 @@ class SweepExecutor:
             if published is not None:
                 digest, name, length = published
                 return self._pool.submit(
-                    _execute_keyed_shm, key, spec, digest, name, length
+                    _execute_keyed_shm, self.run_fn, key, spec, digest, name, length
                 )
-        return self._pool.submit(_execute_keyed, key, spec, trace)
-
-    def _fan_out(self, items: list[tuple[str, tuple[RunSpec, Trace]]]) -> None:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        futures = [
-            self._submit(key, spec, trace) for key, (spec, trace) in items
-        ]
-        for future in futures:
-            key, result = future.result()
-            self.executions += 1
-            self._record(key, result, persist=True)
+        return self._pool.submit(_execute_keyed, self.run_fn, key, spec, trace)
 
 
 # -- module-level default executor -------------------------------------

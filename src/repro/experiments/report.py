@@ -34,6 +34,25 @@ def _format_cell(value) -> str:
     return str(value)
 
 
+def progress_line(
+    done: int,
+    total: int | None,
+    inflight: int,
+    memo_hits: int = 0,
+    disk_hits: int = 0,
+    executions: int = 0,
+) -> str:
+    """One streaming-sweep progress line (``REPRO_SWEEP_PROGRESS=1``).
+
+    ``total`` is unknown for unbounded generators and renders as ``?``.
+    """
+    span = "?" if total is None else str(total)
+    return (
+        f"[sweep] point {done}/{span} done, in-flight {inflight}, "
+        f"memo {memo_hits}, disk {disk_hits}, exec {executions}"
+    )
+
+
 def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     """Render a padded, pipe-separated table."""
     if not headers:

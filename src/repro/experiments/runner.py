@@ -17,6 +17,8 @@ durations.
 
 from __future__ import annotations
 
+from typing import Callable, Iterable, Iterator
+
 from repro.cluster.records import RunResult
 from repro.experiments.config import RunSpec
 from repro.experiments.parallel import get_executor
@@ -28,6 +30,20 @@ from repro.workloads.spec import Trace
 def run_cached(spec: RunSpec, trace: Trace) -> RunResult:
     """Run one experiment through the executor's two-tier cache."""
     return get_executor().run_one(spec, trace)
+
+
+def run_stream(
+    pairs: Iterable[tuple[RunSpec, Trace]],
+    on_result: Callable[[int, str, RunResult], None] | None = None,
+) -> Iterator[tuple[int, str, RunResult]]:
+    """Stream ``(index, key, result)`` triples as runs complete.
+
+    The producer/consumer core of the default executor: pairs are pulled
+    lazily (arbitrarily large generators stay bounded by the in-flight
+    window) and results arrive in completion order — see
+    :meth:`~repro.experiments.parallel.SweepExecutor.run_stream`.
+    """
+    return get_executor().run_stream(pairs, on_result=on_result)
 
 
 def run_replicated(

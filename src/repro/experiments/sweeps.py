@@ -4,10 +4,17 @@ Figures 5, 6, 8-9 and 10-11 all have the same skeleton: run a candidate
 scheduler and a baseline over a range of cluster sizes on one trace, and
 report candidate-normalized-to-baseline percentile runtimes per job class.
 
-All runs of a sweep are submitted as one batch to the
-:class:`~repro.experiments.parallel.SweepExecutor`, which deduplicates
-them against the two-tier run cache and fans cache misses out over a
-worker pool.
+All runs of a sweep flow through the
+:class:`~repro.experiments.parallel.SweepExecutor` streaming core
+(:meth:`~repro.experiments.parallel.SweepExecutor.run_stream`), which
+deduplicates them against the two-tier run cache and keeps pool workers
+fed under a bounded in-flight window.  Results are folded into
+:class:`ReplicatedPoint` aggregates *incrementally* as completions land
+(:class:`_SweepFold`): a point is built the moment its last replica
+finishes, and the optional ``on_point`` hook observes it right then —
+no global join.  :func:`multi_sweep` chains several candidate-vs-baseline
+sweeps through one continuous stream, so a slow point in one workload's
+grid no longer stalls the next workload behind a batch barrier.
 
 Seed replication: with ``n_seeds > 1`` every sweep point fans out into
 ``n_seeds`` matched replicas — replica ``r`` runs *both* schedulers with
@@ -22,8 +29,9 @@ the executor batch is identical to the historical single-seed sweep.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.cluster.job import JobClass
 from repro.cluster.records import RunResult
@@ -193,6 +201,152 @@ def _replica_traces(
     return (trace,) + tuple(trace_factory(seed) for seed in seeds[1:])
 
 
+class _SweepFold:
+    """Incremental aggregation of a streamed sweep.
+
+    Consumes ``(local_index, RunResult)`` completions in *any* order and
+    folds them into :class:`ReplicatedPoint` values as soon as their
+    inputs are complete.  The pair layout mirrors the submission order of
+    :func:`_sweep_pairs`: size ``i`` replica ``r`` occupies indices
+    ``2*n_seeds*i + 2*r`` (candidate) and ``+1`` (baseline).  A replica's
+    :class:`SweepPoint` is built the moment its candidate/baseline pair
+    is matched, and a size's :class:`ReplicatedPoint` the moment its last
+    replica lands — at which point ``on_point`` (if given) fires.  Only
+    unmatched halves are held, so memory stays proportional to the
+    in-flight window, not the grid.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        seeds: tuple[int, ...],
+        on_point: Callable[[ReplicatedPoint], None] | None = None,
+    ) -> None:
+        self.sizes = tuple(sizes)
+        self.seeds = seeds
+        self.n_seeds = len(seeds)
+        self.on_point = on_point
+        self.points: list[ReplicatedPoint | None] = [None] * len(self.sizes)
+        self._halves: dict[tuple[int, int], list[RunResult | None]] = {}
+        self._replicas: list[list[SweepPoint | None]] = [
+            [None] * self.n_seeds for _ in self.sizes
+        ]
+        self._landed = [0] * len(self.sizes)
+
+    def __len__(self) -> int:
+        return 2 * self.n_seeds * len(self.sizes)
+
+    def add(self, index: int, result: RunResult) -> None:
+        i, rem = divmod(index, 2 * self.n_seeds)
+        r, side = divmod(rem, 2)  # side 0 = candidate, 1 = baseline
+        half = self._halves.setdefault((i, r), [None, None])
+        half[side] = result
+        if half[0] is None or half[1] is None:
+            return
+        del self._halves[(i, r)]
+        self._replicas[i][r] = _build_point(self.sizes[i], half[0], half[1])
+        self._landed[i] += 1
+        if self._landed[i] == self.n_seeds:
+            point = ReplicatedPoint(
+                n_workers=self.sizes[i],
+                seeds=self.seeds,
+                replicas=tuple(self._replicas[i]),
+            )
+            self.points[i] = point
+            if self.on_point is not None:
+                self.on_point(point)
+
+
+def _sweep_pairs(
+    trace: Trace,
+    sizes: Sequence[int],
+    candidate_spec: RunSpec,
+    baseline_spec: RunSpec,
+    n_seeds: int,
+    trace_factory: TraceFactory | None,
+):
+    """Yield one sweep's (spec, trace) pairs in the :class:`_SweepFold` layout."""
+    seeds = replica_seeds(candidate_spec.seed, n_seeds)
+    traces = _replica_traces(trace, seeds, trace_factory)
+    candidates = candidate_spec.replicas(n_seeds)
+    baselines = baseline_spec.replicas(n_seeds)
+    for n in sizes:
+        for r in range(n_seeds):
+            yield candidates[r].with_(n_workers=n), traces[r]
+            yield baselines[r].with_(n_workers=n), traces[r]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepJob:
+    """One candidate-vs-baseline sweep inside a :func:`multi_sweep` stream.
+
+    A :class:`~repro.workloads.registry.WorkloadSpec` in place of the
+    trace materializes lazily — only when the stream actually reaches
+    this job — at the candidate spec's seed, and serves as the
+    per-replica trace factory unless one is given.
+    """
+
+    trace: Trace | WorkloadSpec
+    sizes: tuple[int, ...]
+    candidate_spec: RunSpec
+    baseline_spec: RunSpec
+    trace_factory: TraceFactory | None = None
+
+
+def multi_sweep(
+    jobs: Sequence[SweepJob],
+    executor: SweepExecutor | None = None,
+    n_seeds: int = 1,
+    on_point: Callable[[int, ReplicatedPoint], None] | None = None,
+) -> list[list[ReplicatedPoint]]:
+    """Run several sweeps as ONE continuous executor stream.
+
+    Returns one points list per job, in job order — element ``j`` equals
+    ``sweep(*jobs[j])`` exactly.  The difference is wall-clock shape:
+    chaining ``sweep`` calls joins on every grid before starting the
+    next (each batch serializes behind its slowest run), whereas here
+    the pairs of all jobs feed one stream, so workers move on to job
+    ``j+1``'s runs while job ``j``'s stragglers finish.  ``on_point``
+    (if given) observes ``(job_index, point)`` as each point completes,
+    which may interleave across jobs.
+    """
+    executor = executor or get_executor()
+    jobs = list(jobs)
+    folds: list[_SweepFold] = []
+    offsets: list[int] = []
+    offset = 0
+    for j, job in enumerate(jobs):
+        seeds = replica_seeds(job.candidate_spec.seed, n_seeds)
+        hook = (
+            None
+            if on_point is None
+            else (lambda point, j=j: on_point(j, point))
+        )
+        folds.append(_SweepFold(job.sizes, seeds, hook))
+        offsets.append(offset)
+        offset += 2 * n_seeds * len(job.sizes)
+
+    def chained_pairs():
+        for job in jobs:
+            trace, factory = job.trace, job.trace_factory
+            if isinstance(trace, WorkloadSpec):
+                factory = factory or trace
+                trace = trace.trace(job.candidate_spec.seed)
+            yield from _sweep_pairs(
+                trace,
+                job.sizes,
+                job.candidate_spec,
+                job.baseline_spec,
+                n_seeds,
+                factory,
+            )
+
+    for index, _key, result in executor.run_stream(chained_pairs(), total=offset):
+        j = bisect_right(offsets, index) - 1
+        folds[j].add(index - offsets[j], result)
+    return [fold.points for fold in folds]
+
+
 def compare_at_size(
     trace: Trace | WorkloadSpec,
     n_workers: int,
@@ -222,12 +376,15 @@ def sweep(
     executor: SweepExecutor | None = None,
     n_seeds: int = 1,
     trace_factory: TraceFactory | None = None,
+    on_point: Callable[[ReplicatedPoint], None] | None = None,
 ) -> list[ReplicatedPoint]:
     """Compare the two schedulers at every cluster size.
 
     The whole sweep — candidate and baseline, every size, every replica
-    seed — is one executor batch, so independent runs execute
-    concurrently when the pool has more than one worker.  Replica seeds
+    seed — is one executor stream, so independent runs execute
+    concurrently when the pool has more than one worker, and points fold
+    incrementally as their replicas complete (``on_point`` observes each
+    one right then; the returned list is unchanged).  Replica seeds
     derive from the candidate spec's seed (drivers give candidate and
     baseline the same base seed; each spec's own base is offset
     per-replica, keeping the pairing matched either way).
@@ -240,25 +397,15 @@ def sweep(
         trace_factory = trace_factory or trace
         trace = trace.trace(candidate_spec.seed)
     executor = executor or get_executor()
+    sizes = tuple(sizes)
     seeds = replica_seeds(candidate_spec.seed, n_seeds)
-    traces = _replica_traces(trace, seeds, trace_factory)
-    candidates = candidate_spec.replicas(n_seeds)
-    baselines = baseline_spec.replicas(n_seeds)
-    pairs: list[tuple[RunSpec, Trace]] = []
-    for n in sizes:
-        for r in range(n_seeds):
-            pairs.append((candidates[r].with_(n_workers=n), traces[r]))
-            pairs.append((baselines[r].with_(n_workers=n), traces[r]))
-    results = executor.run_many(pairs)
-    points: list[ReplicatedPoint] = []
-    for i, n in enumerate(sizes):
-        base = 2 * n_seeds * i
-        replicas = tuple(
-            _build_point(n, results[base + 2 * r], results[base + 2 * r + 1])
-            for r in range(n_seeds)
-        )
-        points.append(ReplicatedPoint(n_workers=n, seeds=seeds, replicas=replicas))
-    return points
+    fold = _SweepFold(sizes, seeds, on_point)
+    pairs = _sweep_pairs(
+        trace, sizes, candidate_spec, baseline_spec, n_seeds, trace_factory
+    )
+    for index, _key, result in executor.run_stream(pairs, total=len(fold)):
+        fold.add(index, result)
+    return fold.points
 
 
 def extra_metrics(
